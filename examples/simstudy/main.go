@@ -1,0 +1,75 @@
+// simstudy: drive the many-core simulator directly to answer a placement
+// question the paper cares about — how much does thread placement change
+// the throughput of one contended lock on the Opteron model? This is the
+// experiment behind the paper's "if we do not explicitly pin the threads,
+// the multi-sockets deliver 4 to 6 times lower maximum throughput".
+//
+//	go run ./examples/simstudy
+package main
+
+import (
+	"fmt"
+
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+	"ssync/internal/simlocks"
+	"ssync/internal/xrand"
+)
+
+func main() {
+	p := arch.Opteron()
+	fmt.Printf("placement study on the %s model: 12 threads, one %s lock\n\n",
+		p.Name, simlocks.TICKET)
+	fmt.Printf("%-28s %10s\n", "placement", "Mops/s")
+	fmt.Printf("%-28s %10.2f\n", "packed (2 dies, paper)", run(p, packed(p, 12)))
+	fmt.Printf("%-28s %10.2f\n", "striped across all 8 dies", run(p, striped(p, 12)))
+	fmt.Printf("%-28s %10.2f\n", "scattered (OS-style random)", run(p, scattered(p, 12)))
+	fmt.Println("\nPacked placement keeps lock hand-overs inside a die;")
+	fmt.Println("anything else pays cross-socket coherence on every hand-over.")
+}
+
+// packed fills dies in order — the paper's pinning policy.
+func packed(p *arch.Platform, n int) []int { return p.PlaceThreads(n) }
+
+// striped spreads threads round-robin across the dies.
+func striped(p *arch.Platform, n int) []int {
+	perDie := p.NumCores / p.NumNodes
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (i%p.NumNodes)*perDie + i/p.NumNodes
+	}
+	return out
+}
+
+// scattered picks distinct cores pseudo-randomly, like an unpinned OS
+// schedule snapshot.
+func scattered(p *arch.Platform, n int) []int {
+	rng := xrand.New(42)
+	perm := rng.Perm(p.NumCores)
+	return perm[:n]
+}
+
+// run measures total acquisition throughput for a placement.
+func run(p *arch.Platform, cores []int) float64 {
+	m := memsim.New(p)
+	m.Opt.CostJitter = 0.15
+	lock := simlocks.New(m, simlocks.TICKET, p.NodeOf(cores[0]), simlocks.DefaultOptions(p))
+	data := m.AllocLine(p.NodeOf(cores[0]))
+	const deadline = 400_000
+	m.SetDeadline(deadline)
+	for ti, c := range cores {
+		rng := xrand.New(uint64(ti) + 9)
+		m.Spawn(c, func(t *memsim.Thread) {
+			t.Pause(rng.Uint64() % 4096)
+			for !t.Done() {
+				lock.Acquire(t)
+				t.Store(data, t.Load(data)+1)
+				lock.Release(t)
+				t.Pause(100)
+			}
+		})
+	}
+	cycles := m.Run()
+	// The protected counter is the acquisition count.
+	return p.MopsFrom(m.Peek(data), cycles)
+}

@@ -1,0 +1,281 @@
+// Package arch models the four many-core platforms of the SOSP'13 paper
+// "Everything You Always Wanted to Know about Synchronization but Were
+// Afraid to Ask": the 4-socket AMD Opteron (directory-based MOESI with an
+// incomplete probe filter), the 8-socket Intel Xeon (broadcast MESIF with an
+// inclusive LLC), the uniform Sun Niagara 2 (crossbar, duplicate-tag
+// directory) and the non-uniform Tilera TILE-Gx36 (mesh, distributed
+// home-tile directory). It also models the two small 2-socket machines the
+// paper discusses in §8.
+//
+// A Platform bundles three things:
+//
+//   - the topology (cores, dies, memory nodes, distance between cores),
+//   - the coherence-transaction latency tables of the paper's Tables 2 and 3,
+//     used by the machine simulator (internal/memsim) as the cost of each
+//     cache-line transaction, and
+//   - protocol "quirks" that change *which* transaction a memory operation
+//     generates (Opteron's incomplete directory, Xeon's inclusive LLC,
+//     Tilera's per-hop distance and hardware message passing).
+//
+// The tables are calibrated to the paper's measurements; the simulator
+// composes them, so contended behaviour (the paper's Figures 3-12) is
+// emergent rather than hard-coded.
+package arch
+
+import "fmt"
+
+// Op enumerates the memory operations whose coherence cost the platform
+// models distinguish (paper §5).
+type Op uint8
+
+// Memory operations.
+const (
+	Load Op = iota
+	Store
+	CAS
+	FAI
+	TAS
+	SWAP
+	numOps
+)
+
+// String returns the paper's name for the operation.
+func (o Op) String() string {
+	switch o {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case CAS:
+		return "CAS"
+	case FAI:
+		return "FAI"
+	case TAS:
+		return "TAS"
+	case SWAP:
+		return "SWAP"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// AtomicOps lists the atomic read-modify-write operations.
+var AtomicOps = []Op{CAS, FAI, TAS, SWAP}
+
+// IsAtomic reports whether the operation is an atomic read-modify-write.
+func (o Op) IsAtomic() bool { return o >= CAS }
+
+// State is the logical MESI/MOESI/MESIF state of a cache line as seen by
+// the coherence protocol. Forward (Xeon) is folded into Shared, as in the
+// paper's measurements ("its effects are included in the load from shared
+// case").
+type State uint8
+
+// Cache-line states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+	numStates
+)
+
+// String returns the canonical single-word state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "Invalid"
+	case Shared:
+		return "Shared"
+	case Exclusive:
+		return "Exclusive"
+	case Owned:
+		return "Owned"
+	case Modified:
+		return "Modified"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Platform describes one simulated machine. All latencies are in cycles of
+// the platform's own clock (the paper reports cycles throughout).
+type Platform struct {
+	Name string
+	// Table 1 characteristics (informational and used for conversions).
+	NumCores int
+	NumNodes int // memory nodes (= dies with a controller)
+	ClockGHz float64
+
+	// Table 3: local load-to-use latencies, cycles.
+	L1, L2, LLC, RAM uint64
+
+	// AtomicLocal is the cost of an atomic op on a line already held in
+	// Modified/Exclusive state by the issuing core (the paper: "latency of
+	// the operations increases from approximately 20 to 120 cycles" once a
+	// second core contends, so ~20 is the local cost on the multi-sockets).
+	AtomicLocal uint64
+
+	// StoreLocal is the cost of a store to a line the core already owns.
+	StoreLocal uint64
+
+	// DistNames names the distance classes used by the latency tables, in
+	// table-index order (e.g. Opteron: same die, same MCM, one hop, two
+	// hops). For the mesh-based Tilera the classes are hop counts and the
+	// tables are generated from linear per-hop formulas.
+	DistNames []string
+
+	// lat[op][state][class] is the cycles for a coherence transaction of op
+	// on a line in the given state whose current holder is at the given
+	// distance class.
+	lat [numOps][numStates][]uint64
+
+	// Quirks.
+
+	// IncompleteDirectory marks the Opteron probe filter: the directory does
+	// not track sharers, so any store/atomic to a Shared or Owned line pays
+	// a broadcast, and lines whose home node is remote to every involved
+	// core pay DirHopPenalty per hop from the requester to the home node.
+	IncompleteDirectory bool
+	DirHopPenalty       uint64
+
+	// InclusiveLLC marks the Xeon: a load whose data is present in the
+	// requester's socket completes at same-die cost regardless of where
+	// other copies live, and the LLC detects purely-intra-socket sharing.
+	InclusiveLLC bool
+
+	// ReadOccupancy is how long, in cycles, a demote-free load (from a
+	// Shared/Owned line) occupies the line's serialisation point. Read
+	// sharing is nearly concurrent on the Xeon/Niagara/Tilera, but the
+	// Opteron's probe filter serialises every probe at the home directory.
+	ReadOccupancy uint64
+
+	// PerSharerInval is the extra invalidation cost, in cycles, per sharer
+	// beyond the first when a store/atomic hits a Shared line (visible on
+	// the Xeon: 48-sharer store 445 vs 428; strong on the Tilera: 200 vs
+	// ~90).
+	PerSharerInval float64
+
+	// Uniform marks the Niagara: distance to the LLC is identical for all
+	// cores, so only same-core vs other-core matters.
+	Uniform bool
+
+	// HardwareMP marks the Tilera iMesh hardware message passing; when set,
+	// the message-passing library uses MPBase + MPPerHop*hops one-way
+	// instead of cache-line transfers.
+	HardwareMP bool
+	MPBase     uint64
+	MPPerHop   float64
+
+	// Mutex (pthread) model: a failed trylock parks the thread
+	// (MutexParkCost), the unlocker pays MutexWakeCost to wake the head
+	// waiter, and the woken thread resumes MutexResumeCost later.
+	MutexParkCost   uint64
+	MutexWakeCost   uint64
+	MutexResumeCost uint64
+
+	// Topology callbacks.
+	nodeOf     func(core int) int
+	distClass  func(a, b int) int
+	hops       func(a, b int) int
+	classToNod func(core, node int) int // distance class from core to node
+	hopsToNode func(core, node int) int
+	place      func(n int) []int
+
+	// MultiSocket is true for the Opteron and Xeon models; hierarchical
+	// locks are only meaningful there (paper §6.1.2).
+	MultiSocket bool
+
+	// MaxHops is the largest hop distance on the platform (mesh diameter
+	// for the Tilera, 2 for the multi-sockets).
+	MaxHops int
+}
+
+// NodeOf returns the memory node (die) of a core.
+func (p *Platform) NodeOf(core int) int { return p.nodeOf(core) }
+
+// DistClass returns the distance-class index between two cores, suitable
+// for indexing the platform latency tables (0 is nearest).
+func (p *Platform) DistClass(a, b int) int { return p.distClass(a, b) }
+
+// Hops returns the interconnect hop count between two cores (0 when they
+// share a die).
+func (p *Platform) Hops(a, b int) int { return p.hops(a, b) }
+
+// DistClassToNode returns the distance class from a core to a memory node.
+func (p *Platform) DistClassToNode(core, node int) int { return p.classToNod(core, node) }
+
+// HopsToNode returns the interconnect hop count from a core to a memory
+// node (used for the Opteron's remote-directory penalty).
+func (p *Platform) HopsToNode(core, node int) int { return p.hopsToNode(core, node) }
+
+// NumClasses returns the number of distance classes in the latency tables.
+func (p *Platform) NumClasses() int { return len(p.DistNames) }
+
+// PlaceThreads returns the core ids the paper's methodology would pin n
+// threads to: multi-sockets fill a socket before spilling to the next;
+// the Niagara spreads threads evenly across its 8 physical cores; the
+// Tilera fills the mesh in row order.
+func (p *Platform) PlaceThreads(n int) []int {
+	if n < 0 || n > p.NumCores {
+		panic(fmt.Sprintf("arch: cannot place %d threads on %s (%d cores)", n, p.Name, p.NumCores))
+	}
+	return p.place(n)
+}
+
+// Lat returns the latency, in cycles, of a coherence transaction: operation
+// op on a line previously in state st whose holder (or, for Invalid, home
+// memory node) is at distance class class from the requester.
+func (p *Platform) Lat(op Op, st State, class int) uint64 {
+	t := p.lat[op][st]
+	if len(t) == 0 {
+		panic(fmt.Sprintf("arch: %s has no latency for %v on %v line", p.Name, op, st))
+	}
+	if class < 0 {
+		class = 0
+	}
+	if class >= len(t) {
+		class = len(t) - 1
+	}
+	return t[class]
+}
+
+// CyclesToMops converts a per-operation cost in cycles to a throughput in
+// million operations per second on this platform's clock.
+func (p *Platform) CyclesToMops(cyclesPerOp float64) float64 {
+	if cyclesPerOp <= 0 {
+		return 0
+	}
+	return p.ClockGHz * 1e3 / cyclesPerOp
+}
+
+// MopsFrom converts an operation count over a cycle span to Mops/s.
+func (p *Platform) MopsFrom(ops uint64, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(ops) / float64(cycles) * p.ClockGHz * 1e3
+}
+
+func (p *Platform) setLat(op Op, st State, byClass []uint64) {
+	p.lat[op][st] = byClass
+}
+
+func (p *Platform) setAtomic(st State, byClass []uint64) {
+	for _, op := range AtomicOps {
+		p.lat[op][st] = byClass
+	}
+}
+
+// linear builds a per-class table from a per-hop linear model, one entry
+// per hop count 0..maxHops.
+func linear(base float64, slope float64, maxHops int) []uint64 {
+	t := make([]uint64, maxHops+1)
+	for h := 0; h <= maxHops; h++ {
+		v := base + slope*float64(h)
+		if v < 1 {
+			v = 1
+		}
+		t[h] = uint64(v + 0.5)
+	}
+	return t
+}

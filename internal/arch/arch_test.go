@@ -1,0 +1,246 @@
+package arch
+
+import "testing"
+
+func TestTable2Calibration(t *testing.T) {
+	// Spot-check the latency tables against the paper's Table 2.
+	op := Opteron()
+	cases := []struct {
+		p     *Platform
+		op    Op
+		st    State
+		class int
+		want  uint64
+	}{
+		{op, Load, Modified, OptSameDie, 81},
+		{op, Load, Modified, OptTwoHops, 252},
+		{op, Load, Owned, OptSameMCM, 163},
+		{op, Store, Shared, OptSameDie, 246},
+		{op, Store, Owned, OptTwoHops, 291},
+		{op, CAS, Modified, OptSameDie, 110},
+		{op, FAI, Shared, OptTwoHops, 332},
+		{op, Load, Invalid, OptSameDie, 136},
+	}
+	xe := Xeon()
+	cases = append(cases,
+		struct {
+			p     *Platform
+			op    Op
+			st    State
+			class int
+			want  uint64
+		}{xe, Load, Shared, XeonSameDie, 44},
+		struct {
+			p     *Platform
+			op    Op
+			st    State
+			class int
+			want  uint64
+		}{xe, Load, Shared, XeonTwoHops, 334},
+		struct {
+			p     *Platform
+			op    Op
+			st    State
+			class int
+			want  uint64
+		}{xe, Store, Modified, XeonOneHop, 320},
+		struct {
+			p     *Platform
+			op    Op
+			st    State
+			class int
+			want  uint64
+		}{xe, SWAP, Shared, XeonTwoHops, 423},
+	)
+	for _, c := range cases {
+		if got := c.p.Lat(c.op, c.st, c.class); got != c.want {
+			t.Errorf("%s: Lat(%v,%v,%d) = %d, want %d", c.p.Name, c.op, c.st, c.class, got, c.want)
+		}
+	}
+}
+
+func TestNiagaraPerOpAtomics(t *testing.T) {
+	p := Niagara()
+	if cas := p.Lat(CAS, Modified, NiaSameCore); cas != 71 {
+		t.Errorf("CAS same-core = %d, want 71", cas)
+	}
+	if tas := p.Lat(TAS, Modified, NiaOtherCore); tas != 55 {
+		t.Errorf("TAS other-core = %d, want 55", tas)
+	}
+	// TAS is the fast hardware primitive on SPARC; FAI is CAS-emulated.
+	if p.Lat(TAS, Modified, NiaOtherCore) >= p.Lat(FAI, Modified, NiaOtherCore) {
+		t.Error("TAS must be cheaper than FAI on the Niagara")
+	}
+}
+
+func TestTileraLinearDistance(t *testing.T) {
+	p := Tilera()
+	if got := p.Lat(Load, Modified, 1); got != 45 {
+		t.Errorf("load one hop = %d, want 45", got)
+	}
+	if got := p.Lat(Load, Modified, 10); got != 63 {
+		t.Errorf("load max hops = %d, want 63 (43+2*10)", got)
+	}
+	// FAI is the fastest atomic on the Tilera.
+	for _, opn := range []Op{CAS, TAS, SWAP} {
+		if p.Lat(FAI, Modified, 1) >= p.Lat(opn, Modified, 1) {
+			t.Errorf("FAI must be the fastest Tilera atomic (vs %v)", opn)
+		}
+	}
+	// Latency grows monotonically with distance.
+	for h := 1; h <= 10; h++ {
+		if p.Lat(Load, Modified, h) < p.Lat(Load, Modified, h-1) {
+			t.Errorf("Tilera load latency not monotone at hop %d", h)
+		}
+	}
+}
+
+func TestOpteronTopology(t *testing.T) {
+	p := Opteron()
+	if p.DistClass(0, 5) != OptSameDie {
+		t.Error("cores 0 and 5 share a die")
+	}
+	if p.DistClass(0, 6) != OptSameMCM {
+		t.Error("cores 0 and 6 are in one MCM")
+	}
+	if p.NodeOf(47) != 7 {
+		t.Errorf("core 47 on node %d, want 7", p.NodeOf(47))
+	}
+	// Max distance is two hops; some pair must reach it.
+	seenTwo := false
+	for a := 0; a < 48; a++ {
+		for b := 0; b < 48; b++ {
+			c := p.DistClass(a, b)
+			if c > OptTwoHops {
+				t.Fatalf("class %d out of range", c)
+			}
+			if c == OptTwoHops {
+				seenTwo = true
+			}
+		}
+	}
+	if !seenTwo {
+		t.Error("no core pair at two hops")
+	}
+}
+
+func TestXeonTopology(t *testing.T) {
+	p := Xeon()
+	for a := 0; a < 80; a += 7 {
+		for b := 0; b < 80; b += 3 {
+			c := p.DistClass(a, b)
+			if c < 0 || c > XeonTwoHops {
+				t.Fatalf("class %d out of range", c)
+			}
+			if (p.NodeOf(a) == p.NodeOf(b)) != (c == XeonSameDie) {
+				t.Fatalf("same-socket cores must be class 0 (a=%d b=%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestNiagaraPlacement(t *testing.T) {
+	p := Niagara()
+	cores := p.PlaceThreads(8)
+	phys := map[int]bool{}
+	for _, c := range cores {
+		phys[c/8] = true
+	}
+	if len(phys) != 8 {
+		t.Errorf("8 threads must land on 8 distinct physical cores, got %d", len(phys))
+	}
+	all := p.PlaceThreads(64)
+	seen := map[int]bool{}
+	for _, c := range all {
+		if c < 0 || c >= 64 || seen[c] {
+			t.Fatalf("placement repeats or out of range: %v", all)
+		}
+		seen[c] = true
+	}
+}
+
+func TestTileraMesh(t *testing.T) {
+	p := Tilera()
+	if p.Hops(0, 35) != 10 {
+		t.Errorf("corner-to-corner = %d hops, want 10", p.Hops(0, 35))
+	}
+	if p.Hops(0, 1) != 1 || p.Hops(0, 6) != 1 {
+		t.Error("adjacent tiles must be one hop")
+	}
+	// Home tiles cover a spread of the mesh.
+	seen := map[int]bool{}
+	for id := uint64(0); id < 400; id++ {
+		h := p.HomeTile(id)
+		if h < 0 || h >= 36 {
+			t.Fatalf("home tile %d out of range", h)
+		}
+		seen[h] = true
+	}
+	if len(seen) < 30 {
+		t.Errorf("home-tile hash covers only %d tiles", len(seen))
+	}
+}
+
+func TestCrossSocketRatios(t *testing.T) {
+	// §8: cross-socket coherence is ≈1.6× intra on the 2-socket Opteron and
+	// ≈2.7× on the 2-socket Xeon.
+	o2 := Opteron2()
+	r := float64(o2.Lat(Load, Modified, 1)) / float64(o2.Lat(Load, Modified, 0))
+	if r < 1.5 || r > 1.7 {
+		t.Errorf("Opteron2 cross/intra = %.2f, want ≈1.6", r)
+	}
+	x2 := Xeon2()
+	r = float64(x2.Lat(Load, Modified, 1)) / float64(x2.Lat(Load, Modified, 0))
+	if r < 2.6 || r > 2.8 {
+		t.Errorf("Xeon2 cross/intra = %.2f, want ≈2.7", r)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range Names() {
+		p := ByName(n)
+		if p == nil || p.Name != n {
+			t.Errorf("ByName(%q) broken", n)
+		}
+	}
+	if ByName("PDP-11") != nil {
+		t.Error("unknown platform must return nil")
+	}
+}
+
+func TestPlaceThreadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("placing 49 threads on the Opteron must panic")
+		}
+	}()
+	Opteron().PlaceThreads(49)
+}
+
+func TestCyclesToMops(t *testing.T) {
+	p := Opteron() // 2.1 GHz
+	if got := p.CyclesToMops(21); got < 99.9 || got > 100.1 {
+		t.Errorf("21 cycles at 2.1GHz = %v Mops, want 100", got)
+	}
+	if p.CyclesToMops(0) != 0 {
+		t.Error("zero cost must give zero throughput")
+	}
+	if got := p.MopsFrom(1000, 21000); got < 99.9 || got > 100.1 {
+		t.Errorf("MopsFrom = %v, want 100", got)
+	}
+}
+
+func TestCrossingSocketsIsAKiller(t *testing.T) {
+	// Headline observation: any cross-socket operation is 2–7.5× the
+	// intra-socket one on the multi-sockets.
+	for _, p := range []*Platform{Opteron(), Xeon()} {
+		last := p.NumClasses() - 1
+		for _, op := range []Op{Load, Store, CAS} {
+			intra := float64(p.Lat(op, Modified, 0))
+			cross := float64(p.Lat(op, Modified, last))
+			if ratio := cross / intra; ratio < 2 || ratio > 8 {
+				t.Errorf("%s %v cross/intra = %.1f, want within [2, 8]", p.Name, op, ratio)
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package arch
+
+import "sort"
+
+// Distance-class indices for the multi-socket platforms. The tables in
+// tables.go are laid out in this order (paper Table 2 column order).
+const (
+	// Opteron classes.
+	OptSameDie = 0
+	OptSameMCM = 1
+	OptOneHop  = 2
+	OptTwoHops = 3
+	// Xeon classes.
+	XeonSameDie = 0
+	XeonOneHop  = 1
+	XeonTwoHops = 2
+	// Niagara classes.
+	NiaSameCore  = 0
+	NiaOtherCore = 1
+)
+
+// Opteron returns the 48-core, 4-socket (8-die) AMD Opteron "Magny-Cours"
+// model: directory-based MOESI with an incomplete probe filter and a
+// non-inclusive LLC (paper §3.1).
+//
+// Topology: 4 multi-chip modules (MCMs), each with two 6-core dies; every
+// die is a memory node. Dies within an MCM are one (fast) hop apart; dies
+// in different MCMs are one or two hops apart, two being the maximum.
+func Opteron() *Platform {
+	p := &Platform{
+		Name:     "Opteron",
+		NumCores: 48,
+		NumNodes: 8,
+		ClockGHz: 2.1,
+		L1:       3, L2: 15, LLC: 40, RAM: 136,
+		AtomicLocal: 19,
+		StoreLocal:  3,
+		DistNames:   []string{"same die", "same mcm", "one hop", "two hops"},
+
+		IncompleteDirectory: true,
+		DirHopPenalty:       115,
+		ReadOccupancy:       120,
+		MultiSocket:         true,
+		MaxHops:             2,
+
+		MutexParkCost:   2200,
+		MutexWakeCost:   600,
+		MutexResumeCost: 2600,
+	}
+	die := func(c int) int { return c / 6 }
+	p.nodeOf = die
+	p.distClass = func(a, b int) int { return opteronDieClass(die(a), die(b)) }
+	p.hops = func(a, b int) int { return opteronDieHops(die(a), die(b)) }
+	p.classToNod = func(core, node int) int { return opteronDieClass(die(core), node) }
+	p.hopsToNode = func(core, node int) int { return opteronDieHops(die(core), node) }
+	p.place = sequentialPlacement(48)
+	opteronTables(p)
+	return p
+}
+
+// opteronDieClass maps a pair of dies to a distance class. Dies 2m and
+// 2m+1 form MCM m. Die-to-die links follow the Magny-Cours pattern where
+// same-position dies of different MCMs are directly connected and
+// cross-position dies of different MCMs are two hops apart.
+func opteronDieClass(d1, d2 int) int {
+	switch {
+	case d1 == d2:
+		return OptSameDie
+	case d1/2 == d2/2:
+		return OptSameMCM
+	case d1%2 == d2%2:
+		return OptOneHop
+	default:
+		return OptTwoHops
+	}
+}
+
+func opteronDieHops(d1, d2 int) int {
+	switch opteronDieClass(d1, d2) {
+	case OptSameDie:
+		return 0
+	case OptSameMCM, OptOneHop:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Xeon returns the 80-core, 8-socket Intel Xeon Westmere-EX model:
+// broadcast (snooping) MESIF with an inclusive LLC (paper §3.2). The eight
+// sockets form a twisted hypercube with a maximum distance of two hops.
+func Xeon() *Platform {
+	p := &Platform{
+		Name:     "Xeon",
+		NumCores: 80,
+		NumNodes: 8,
+		ClockGHz: 2.13,
+		L1:       5, L2: 11, LLC: 44, RAM: 355,
+		AtomicLocal: 21,
+		StoreLocal:  5,
+		DistNames:   []string{"same die", "one hop", "two hops"},
+
+		InclusiveLLC:   true,
+		PerSharerInval: 0.22,
+		ReadOccupancy:  25,
+		MultiSocket:    true,
+		MaxHops:        2,
+
+		MutexParkCost:   2400,
+		MutexWakeCost:   650,
+		MutexResumeCost: 2800,
+	}
+	sock := func(c int) int { return c / 10 }
+	p.nodeOf = sock
+	p.distClass = func(a, b int) int { return xeonSockClass(sock(a), sock(b)) }
+	p.hops = func(a, b int) int { return xeonSockClass(sock(a), sock(b)) }
+	p.classToNod = func(core, node int) int { return xeonSockClass(sock(core), node) }
+	p.hopsToNode = func(core, node int) int { return xeonSockClass(sock(core), node) }
+	p.place = sequentialPlacement(80)
+	xeonTables(p)
+	return p
+}
+
+// xeonSockClass: hypercube neighbour (one-bit difference) is one hop; the
+// twisted links keep everything else within two hops.
+func xeonSockClass(s1, s2 int) int {
+	if s1 == s2 {
+		return XeonSameDie
+	}
+	x := s1 ^ s2
+	if x&(x-1) == 0 { // power of two: direct link
+		return XeonOneHop
+	}
+	return XeonTwoHops
+}
+
+// Niagara returns the Sun UltraSPARC T2 model: a single die with 8
+// physical cores × 8 hardware threads, a shared write-through L1 per core
+// and a uniform crossbar to the LLC with a duplicate-tag directory
+// (paper §3.3).
+func Niagara() *Platform {
+	p := &Platform{
+		Name:     "Niagara",
+		NumCores: 64,
+		NumNodes: 1,
+		ClockGHz: 1.2,
+		L1:       3, L2: 11, LLC: 24, RAM: 176,
+		AtomicLocal: 55, // best hardware atomic (TAS) on a held line
+		StoreLocal:  11, // write-through L1: stores cost the L2
+		DistNames:   []string{"same core", "other core"},
+
+		Uniform:       true,
+		ReadOccupancy: 8,
+		MaxHops:       1,
+
+		MutexParkCost:   3400,
+		MutexWakeCost:   900,
+		MutexResumeCost: 3800,
+	}
+	phys := func(c int) int { return c / 8 }
+	p.nodeOf = func(int) int { return 0 }
+	p.distClass = func(a, b int) int {
+		if phys(a) == phys(b) {
+			return NiaSameCore
+		}
+		return NiaOtherCore
+	}
+	p.hops = func(a, b int) int { return p.distClass(a, b) }
+	p.classToNod = func(int, int) int { return NiaOtherCore }
+	p.hopsToNode = func(int, int) int { return 1 }
+	p.place = niagaraPlacement
+	niagaraTables(p)
+	return p
+}
+
+// niagaraPlacement spreads n threads evenly across the 8 physical cores,
+// as the paper does ("we divide the threads evenly among the eight
+// physical cores").
+func niagaraPlacement(n int) []int {
+	out := make([]int, n)
+	for t := 0; t < n; t++ {
+		out[t] = (t%8)*8 + t/8
+	}
+	return out
+}
+
+// Tilera returns the TILE-Gx36 model: 36 tiles on a 6×6 mesh, L2 caches
+// federated into a distributed LLC with a home tile per cache line, and
+// hardware message passing over the iMesh (paper §3.4).
+func Tilera() *Platform {
+	p := &Platform{
+		Name:     "Tilera",
+		NumCores: 36,
+		NumNodes: 2,
+		ClockGHz: 1.2,
+		L1:       2, L2: 11, LLC: 45, RAM: 118,
+		AtomicLocal: 40,
+		StoreLocal:  11,
+		DistNames:   tileraDistNames(),
+
+		PerSharerInval: 3.2,
+		ReadOccupancy:  20,
+		MaxHops:        10,
+
+		HardwareMP: true,
+		MPBase:     60,
+		MPPerHop:   0.4,
+
+		MutexParkCost:   2600,
+		MutexWakeCost:   700,
+		MutexResumeCost: 3000,
+	}
+	p.nodeOf = func(c int) int {
+		if c%6 < 3 { // west half of the mesh on controller 0
+			return 0
+		}
+		return 1
+	}
+	p.distClass = tileraHops
+	p.hops = tileraHops
+	p.classToNod = func(core, node int) int {
+		// Controllers attach at the west edge of row 2 and the east edge of
+		// row 3.
+		x, y := core%6, core/6
+		if node == 0 {
+			return abs(x-0) + abs(y-2) + 1
+		}
+		return abs(x-5) + abs(y-3) + 1
+	}
+	p.hopsToNode = p.classToNod
+	p.place = sequentialPlacement(36)
+	tileraTables(p)
+	return p
+}
+
+func tileraDistNames() []string {
+	names := make([]string, 11)
+	names[0] = "same tile"
+	names[1] = "one hop"
+	for h := 2; h <= 10; h++ {
+		names[h] = "hops"
+	}
+	names[10] = "max hops"
+	return names
+}
+
+// tileraHops is the Manhattan distance between two tiles on the 6×6 mesh.
+func tileraHops(a, b int) int {
+	return abs(a%6-b%6) + abs(a/6-b/6)
+}
+
+// HomeTile returns the tile whose L2 slice homes the given cache line on
+// the Tilera (Dynamic Distributed Cache hashes lines across all tiles).
+func (p *Platform) HomeTile(lineID uint64) int {
+	if p.Name != "Tilera" {
+		return -1
+	}
+	// Fibonacci hash of the line id over 36 tiles.
+	return int((lineID * 0x9e3779b97f4a7c15 >> 32) % 36)
+}
+
+// Opteron2 returns the small 2-socket Opteron of §8 (2× quad-core 2384).
+// Cross-socket latencies are ≈1.6× the intra-socket ones.
+func Opteron2() *Platform {
+	p := &Platform{
+		Name:     "Opteron2",
+		NumCores: 8,
+		NumNodes: 2,
+		ClockGHz: 2.7,
+		L1:       3, L2: 15, LLC: 38, RAM: 125,
+		AtomicLocal: 19,
+		StoreLocal:  3,
+		DistNames:   []string{"same die", "one hop"},
+
+		IncompleteDirectory: true,
+		DirHopPenalty:       60,
+		ReadOccupancy:       110,
+		MultiSocket:         true,
+		MaxHops:             1,
+
+		MutexParkCost:   2200,
+		MutexWakeCost:   600,
+		MutexResumeCost: 2600,
+	}
+	die := func(c int) int { return c / 4 }
+	p.nodeOf = die
+	p.distClass = func(a, b int) int { return boolToInt(die(a) != die(b)) }
+	p.hops = p.distClass
+	p.classToNod = func(core, node int) int { return boolToInt(die(core) != node) }
+	p.hopsToNode = p.classToNod
+	p.place = sequentialPlacement(8)
+	twoSocketTables(p, 1.6)
+	return p
+}
+
+// Xeon2 returns the small 2-socket Xeon of §8 (2× six-core X5660).
+// Cross-socket latencies are ≈2.7× the intra-socket ones.
+func Xeon2() *Platform {
+	p := &Platform{
+		Name:     "Xeon2",
+		NumCores: 12,
+		NumNodes: 2,
+		ClockGHz: 2.8,
+		L1:       4, L2: 10, LLC: 40, RAM: 190,
+		AtomicLocal: 21,
+		StoreLocal:  4,
+		DistNames:   []string{"same die", "one hop"},
+
+		InclusiveLLC:   true,
+		PerSharerInval: 0.25,
+		ReadOccupancy:  25,
+		MultiSocket:    true,
+		MaxHops:        1,
+
+		MutexParkCost:   2400,
+		MutexWakeCost:   650,
+		MutexResumeCost: 2800,
+	}
+	sock := func(c int) int { return c / 6 }
+	p.nodeOf = sock
+	p.distClass = func(a, b int) int { return boolToInt(sock(a) != sock(b)) }
+	p.hops = p.distClass
+	p.classToNod = func(core, node int) int { return boolToInt(sock(core) != node) }
+	p.hopsToNode = p.classToNod
+	p.place = sequentialPlacement(12)
+	twoSocketTables(p, 2.7)
+	return p
+}
+
+// All returns the four main platforms in the paper's order.
+func All() []*Platform {
+	return []*Platform{Opteron(), Xeon(), Niagara(), Tilera()}
+}
+
+// ByName returns the named platform model (case-sensitive: Opteron, Xeon,
+// Niagara, Tilera, Opteron2, Xeon2) or nil.
+func ByName(name string) *Platform {
+	switch name {
+	case "Opteron", "opteron":
+		return Opteron()
+	case "Xeon", "xeon":
+		return Xeon()
+	case "Niagara", "niagara":
+		return Niagara()
+	case "Tilera", "tilera":
+		return Tilera()
+	case "Opteron2", "opteron2":
+		return Opteron2()
+	case "Xeon2", "xeon2":
+		return Xeon2()
+	}
+	return nil
+}
+
+// Names lists the available platform model names.
+func Names() []string {
+	n := []string{"Opteron", "Xeon", "Niagara", "Tilera", "Opteron2", "Xeon2"}
+	sort.Strings(n)
+	return n
+}
+
+func sequentialPlacement(max int) func(int) []int {
+	return func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

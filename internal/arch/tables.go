@@ -1,0 +1,160 @@
+package arch
+
+// This file encodes the paper's Table 2 ("Latencies (cycles) of the cache
+// coherence to load/store/CAS/FAI/TAS/SWAP a cache line depending on the
+// MESI state and the distance") as the calibrated cost of a single
+// coherence transaction on each platform. Entries the table does not
+// provide (e.g. store/atomic on an Invalid line) are composed from the
+// measured ones and documented inline.
+
+func opteronTables(p *Platform) {
+	// Loads: essentially state-independent (the protocol steps are the
+	// same); columns: same die / same MCM / one hop / two hops.
+	p.setLat(Load, Modified, []uint64{81, 161, 172, 252})
+	p.setLat(Load, Owned, []uint64{83, 163, 175, 254})
+	p.setLat(Load, Exclusive, []uint64{83, 163, 175, 253})
+	p.setLat(Load, Shared, []uint64{83, 164, 176, 254})
+	p.setLat(Load, Invalid, []uint64{136, 237, 247, 327})
+
+	// Stores. A store on a Shared or Owned line pays the broadcast
+	// invalidation (incomplete probe filter), hence the ~3x jump.
+	p.setLat(Store, Modified, []uint64{83, 172, 191, 273})
+	p.setLat(Store, Owned, []uint64{244, 255, 286, 291})
+	p.setLat(Store, Exclusive, []uint64{83, 171, 191, 271})
+	p.setLat(Store, Shared, []uint64{246, 255, 286, 296})
+	// Store on Invalid: fetch from memory with intent to modify; compose as
+	// the Invalid load plus the M-store ownership delta (~2 cycles).
+	p.setLat(Store, Invalid, []uint64{138, 239, 250, 330})
+
+	// Atomic operations: "CAS, TAS, FAI, and SWAP have essentially the same
+	// latencies" on the multi-sockets.
+	p.setAtomic(Modified, []uint64{110, 197, 216, 296})
+	p.setAtomic(Exclusive, []uint64{110, 197, 216, 296})
+	p.setAtomic(Shared, []uint64{272, 283, 312, 332})
+	p.setAtomic(Owned, []uint64{272, 283, 312, 332})
+	// Atomic on Invalid: memory fetch plus the atomic premium over a store.
+	p.setAtomic(Invalid, []uint64{165, 264, 275, 353})
+}
+
+func xeonTables(p *Platform) {
+	// Columns: same die / one hop / two hops.
+	p.setLat(Load, Modified, []uint64{109, 289, 400})
+	p.setLat(Load, Exclusive, []uint64{92, 273, 383})
+	p.setLat(Load, Shared, []uint64{44, 223, 334})
+	p.setLat(Load, Invalid, []uint64{355, 492, 601})
+	// The Xeon has no Owned state; treat like Modified (never generated).
+	p.setLat(Load, Owned, []uint64{109, 289, 400})
+
+	p.setLat(Store, Modified, []uint64{115, 320, 431})
+	p.setLat(Store, Exclusive, []uint64{115, 315, 425})
+	p.setLat(Store, Shared, []uint64{116, 318, 428})
+	p.setLat(Store, Owned, []uint64{115, 320, 431})
+	p.setLat(Store, Invalid, []uint64{358, 495, 605})
+
+	p.setAtomic(Modified, []uint64{120, 324, 430})
+	p.setAtomic(Exclusive, []uint64{120, 324, 430})
+	p.setAtomic(Shared, []uint64{113, 312, 423})
+	p.setAtomic(Owned, []uint64{120, 324, 430})
+	p.setAtomic(Invalid, []uint64{362, 500, 610})
+}
+
+func niagaraTables(p *Platform) {
+	// Columns: same core / other core. The L1 is shared by the 8 hardware
+	// threads of a core, so a same-core load is an L1 hit; anything else is
+	// the uniform L2.
+	p.setLat(Load, Modified, []uint64{3, 24})
+	p.setLat(Load, Exclusive, []uint64{3, 24})
+	p.setLat(Load, Shared, []uint64{3, 24})
+	p.setLat(Load, Owned, []uint64{3, 24})
+	p.setLat(Load, Invalid, []uint64{176, 176})
+
+	// Write-through L1: stores always cost the L2 path.
+	p.setLat(Store, Modified, []uint64{24, 24})
+	p.setLat(Store, Exclusive, []uint64{24, 24})
+	p.setLat(Store, Shared, []uint64{24, 24})
+	p.setLat(Store, Owned, []uint64{24, 24})
+	p.setLat(Store, Invalid, []uint64{176, 176})
+
+	// SPARC has no hardware FAI/SWAP; they are CAS-based and slower. TAS is
+	// a fast hardware primitive (ldstub). Columns: same core / other core.
+	p.setLat(CAS, Modified, []uint64{71, 66})
+	p.setLat(FAI, Modified, []uint64{108, 99})
+	p.setLat(TAS, Modified, []uint64{64, 55})
+	p.setLat(SWAP, Modified, []uint64{95, 90})
+	p.setLat(CAS, Shared, []uint64{76, 66})
+	p.setLat(FAI, Shared, []uint64{99, 99})
+	p.setLat(TAS, Shared, []uint64{67, 55})
+	p.setLat(SWAP, Shared, []uint64{93, 90})
+	for _, op := range AtomicOps {
+		p.setLat(op, Exclusive, p.lat[op][Modified])
+		p.setLat(op, Owned, p.lat[op][Shared])
+		// Atomic on an uncached line: memory fetch plus the atomic cost.
+		p.setLat(op, Invalid, []uint64{176 + p.lat[op][Modified][1]/2, 176 + p.lat[op][Modified][1]/2})
+	}
+}
+
+func tileraTables(p *Platform) {
+	// The Tilera tables are linear in the hop distance to the line's home
+	// tile: Table 2 gives one hop and max hops (10 on the 6×6 mesh), which
+	// pins the base and the ~2 cycles/hop slope. Index = hop count 0..10.
+	const hmax = 10
+	loads := linear(43, 2, hmax) // one hop 45, max hops 65
+	p.setLat(Load, Modified, loads)
+	p.setLat(Load, Exclusive, loads)
+	p.setLat(Load, Shared, loads)
+	p.setLat(Load, Owned, loads)
+	p.setLat(Load, Invalid, linear(113, 4.9, hmax)) // 118 .. 162
+
+	stores := linear(55, 2, hmax) // one hop 57, max hops 77
+	p.setLat(Store, Modified, stores)
+	p.setLat(Store, Exclusive, stores)
+	p.setLat(Store, Owned, stores)
+	p.setLat(Store, Shared, linear(84, 2, hmax)) // 86 .. 106 (+ per-sharer)
+	p.setLat(Store, Invalid, linear(120, 4.9, hmax))
+
+	// Atomics have distinct hardware implementations; FAI is the fastest.
+	p.setLat(CAS, Modified, linear(75, 2.3, hmax))  // 77 .. 98
+	p.setLat(FAI, Modified, linear(49, 2.2, hmax))  // 51 .. 71
+	p.setLat(TAS, Modified, linear(68, 2.1, hmax))  // 70 .. 89
+	p.setLat(SWAP, Modified, linear(61, 2.3, hmax)) // 63 .. 84
+	p.setLat(CAS, Shared, linear(122, 2, hmax))     // 124 .. 142
+	p.setLat(FAI, Shared, linear(80, 2.2, hmax))    // 82 .. 102
+	p.setLat(TAS, Shared, linear(119, 2.2, hmax))   // 121 .. 141
+	p.setLat(SWAP, Shared, linear(93, 2.4, hmax))   // 95 .. 115
+	for _, op := range AtomicOps {
+		p.setLat(op, Exclusive, p.lat[op][Modified])
+		p.setLat(op, Owned, p.lat[op][Shared])
+		p.setLat(op, Invalid, linear(140, 4.9, hmax))
+	}
+}
+
+// twoSocketTables builds the §8 small multi-socket tables: intra-socket
+// latencies close to the big siblings', cross-socket latencies scaled by
+// the measured ratio (1.6 for the 2-socket Opteron, 2.7 for the 2-socket
+// Xeon).
+func twoSocketTables(p *Platform, ratio float64) {
+	intra := map[Op]map[State]uint64{
+		Load:  {Modified: 85, Owned: 87, Exclusive: 86, Shared: 86, Invalid: p.RAM},
+		Store: {Modified: 86, Owned: 180, Exclusive: 86, Shared: 182, Invalid: p.RAM + 3},
+	}
+	if !p.IncompleteDirectory {
+		// Xeon-like: no owned state, shared loads served by the LLC.
+		intra[Load] = map[State]uint64{Modified: 100, Owned: 100, Exclusive: 88, Shared: 40, Invalid: p.RAM}
+		intra[Store] = map[State]uint64{Modified: 105, Owned: 105, Exclusive: 105, Shared: 106, Invalid: p.RAM + 3}
+	}
+	cross := func(v uint64) uint64 { return uint64(float64(v)*ratio + 0.5) }
+	for op, states := range intra {
+		for st, v := range states {
+			p.setLat(op, st, []uint64{v, cross(v)})
+		}
+	}
+	atomicIntraM, atomicIntraS := uint64(112), uint64(240)
+	if !p.IncompleteDirectory {
+		atomicIntraM, atomicIntraS = 110, 105
+	}
+	p.setAtomic(Modified, []uint64{atomicIntraM, cross(atomicIntraM)})
+	p.setAtomic(Exclusive, []uint64{atomicIntraM, cross(atomicIntraM)})
+	p.setAtomic(Shared, []uint64{atomicIntraS, cross(atomicIntraS)})
+	p.setAtomic(Owned, []uint64{atomicIntraS, cross(atomicIntraS)})
+	p.setAtomic(Invalid, []uint64{p.RAM + 30, cross(p.RAM + 30)})
+}

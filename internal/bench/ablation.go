@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+	"ssync/internal/simlocks"
+	"ssync/internal/simmp"
+	"ssync/internal/xrand"
+)
+
+// Ablations for the design choices DESIGN.md calls out: each returns the
+// measurement with the feature on and off, so the benches and tests can
+// quantify how much of the reproduced behaviour each mechanism carries.
+
+// AblationResult pairs a measurement with its ablated twin.
+type AblationResult struct {
+	Name string
+	On   float64
+	Off  float64
+}
+
+// AblationNoContention measures single-lock TAS throughput (Mops/s) with
+// and without per-line transaction serialisation. Without it, contention
+// costs vanish and the multi-socket collapse disappears — showing the
+// serialisation model carries the paper's headline behaviour.
+func AblationNoContention(p *arch.Platform, nThreads int, cfg Config) AblationResult {
+	run := func(off bool) float64 {
+		cfg := cfg.orDefault()
+		m := memsim.New(p)
+		m.Opt.NoContention = off
+		m.Opt.CostJitter = 0.15
+		target := m.AllocLine(p.NodeOf(0))
+		m.SetDeadline(cfg.Deadline)
+		cores := p.PlaceThreads(nThreads)
+		ops := make([]uint64, nThreads)
+		for ti, c := range cores {
+			ti := ti
+			rng := xrand.New(uint64(ti) + 77)
+			m.Spawn(c, func(t *memsim.Thread) {
+				t.Pause(rng.Uint64() % 4096)
+				for !t.Done() {
+					t.FAI(target)
+					ops[ti]++
+					t.Pause(200)
+				}
+			})
+		}
+		cycles := m.Run()
+		var total uint64
+		for _, o := range ops {
+			total += o
+		}
+		return p.MopsFrom(total, cycles)
+	}
+	return AblationResult{Name: "line serialisation", On: run(false), Off: run(true)}
+}
+
+// AblationProbeFilter measures Opteron store-on-shared cost with the
+// incomplete probe filter as built versus an idealised complete directory.
+// The paper's §5.3 problem (and the reason prefetchw pays off) lives
+// entirely in this gap.
+func AblationProbeFilter(nThreads int, cfg Config) AblationResult {
+	p := arch.Opteron()
+	run := func(complete bool) float64 {
+		cfg := cfg.orDefault()
+		m := memsim.New(p)
+		m.Opt.CompleteDirectory = complete
+		m.Opt.CostJitter = 0.15
+		l := simlocks.New(m, simlocks.TICKET, 0, simlocks.Options{TicketBackoff: true})
+		data := m.AllocLine(0)
+		m.SetDeadline(cfg.Deadline)
+		cores := p.PlaceThreads(nThreads)
+		ops := make([]uint64, nThreads)
+		for ti, c := range cores {
+			ti := ti
+			rng := xrand.New(uint64(ti) + 3)
+			m.Spawn(c, func(t *memsim.Thread) {
+				t.Pause(rng.Uint64() % 4096)
+				for !t.Done() {
+					l.Acquire(t)
+					t.Store(data, t.Load(data)+1)
+					l.Release(t)
+					ops[ti]++
+					t.Pause(100)
+				}
+			})
+		}
+		cycles := m.Run()
+		var total uint64
+		for _, o := range ops {
+			total += o
+		}
+		return p.MopsFrom(total, cycles)
+	}
+	return AblationResult{Name: "incomplete probe filter", On: run(false), Off: run(true)}
+}
+
+// AblationMPPrefetchw measures Opteron message-passing round-trip latency
+// with and without the §5.3 prefetchw optimization (the paper: up to 2.5×
+// faster with it).
+func AblationMPPrefetchw(cfg Config) AblationResult {
+	p := arch.Opteron()
+	run := func(pf bool) float64 {
+		cfg := cfg.orDefault()
+		m := memsim.New(p)
+		net := simmp.NewNetwork(m, []int{0, 24}, simmp.Options{Prefetchw: pf})
+		n := cfg.LatencyOps
+		m.Spawn(0, func(t *memsim.Thread) {
+			for i := 0; i < n; i++ {
+				net.Call(t, 24, simmp.Msg{W: [7]uint64{1}})
+			}
+		})
+		m.Spawn(24, func(t *memsim.Thread) {
+			for i := 0; i < n; i++ {
+				from, msg := net.RecvAny(t)
+				net.Send(t, from, msg)
+			}
+		})
+		return float64(m.Run()) / float64(n)
+	}
+	return AblationResult{Name: "mp prefetchw (cycles/round-trip)", On: run(true), Off: run(false)}
+}
+
+// AblationTicketBackoff is Figure 3 distilled to one number: the naive vs
+// proportional-back-off acquire+release latency at high contention.
+func AblationTicketBackoff(nThreads int, cfg Config) AblationResult {
+	p := arch.Opteron()
+	return AblationResult{
+		Name: "ticket proportional back-off (cycles/op)",
+		On:   ticketLatency(p, simlocks.Options{TicketBackoff: true}, nThreads, cfg.orDefault()),
+		Off:  ticketLatency(p, simlocks.Options{}, nThreads, cfg.orDefault()),
+	}
+}

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"testing"
+
+	"ssync/internal/arch"
+	"ssync/internal/simlocks"
+)
+
+// quick is a small configuration keeping the shape-assertion tests fast.
+var quickCfg = Config{Deadline: 80_000, LatencyOps: 40, Reps: 2}
+
+func TestFigure3Shape(t *testing.T) {
+	fig := Figure3(quickCfg)
+	naive := FindSeries(fig, string(TicketNaive))
+	backoff := FindSeries(fig, string(TicketBackoff))
+	pf := FindSeries(fig, string(TicketPrefetchw))
+	if naive == nil || backoff == nil || pf == nil {
+		t.Fatal("missing series")
+	}
+	// At high thread counts: naive much worse than back-off; prefetchw at
+	// least as good as back-off (paper: up to 2× better).
+	n := 48
+	if naive.At(n) < 2*backoff.At(n) {
+		t.Errorf("naive (%.0f) should be ≥2× back-off (%.0f) at %d threads",
+			naive.At(n), backoff.At(n), n)
+	}
+	if pf.At(n) > backoff.At(n) {
+		t.Errorf("prefetchw (%.0f) should beat back-off (%.0f) at %d threads",
+			pf.At(n), backoff.At(n), n)
+	}
+	// Latency grows with the thread count for every variant.
+	if naive.At(48) <= naive.At(6) || backoff.At(48) <= backoff.At(6) {
+		t.Error("latency must grow with contention")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	// Multi-sockets: fast single thread, collapse at 2+, further drop when
+	// crossing sockets. Single-sockets: throughput stabilises, no collapse.
+	for _, pn := range []string{"Opteron", "Xeon"} {
+		p := arch.ByName(pn)
+		fig := Figure4(p, quickCfg)
+		fai := FindSeries(fig, "FAI")
+		if fai.At(1) < 2*fai.At(2) {
+			t.Errorf("%s: single-thread FAI (%.1f) must dwarf 2-thread (%.1f)", pn, fai.At(1), fai.At(2))
+		}
+		inSocket := 6
+		crossed := 18
+		if pn == "Xeon" {
+			inSocket, crossed = 10, 20
+		}
+		if fai.At(inSocket) < 1.3*fai.At(crossed) {
+			t.Errorf("%s: crossing sockets must drop FAI throughput (%.1f -> %.1f)",
+				pn, fai.At(inSocket), fai.At(crossed))
+		}
+	}
+	// Niagara: TAS is the efficient hardware primitive (paper §5.4).
+	nia := Figure4(arch.Niagara(), quickCfg)
+	tas := FindSeries(nia, "TAS")
+	for _, other := range []string{"CAS", "SWAP", "FAI"} {
+		if tas.At(32) <= FindSeries(nia, other).At(32) {
+			t.Errorf("Niagara TAS (%.1f) must beat %s (%.1f)", tas.At(32), other, FindSeries(nia, other).At(32))
+		}
+	}
+	// Tilera: FAI is the fastest atomic (paper §5.4).
+	til := Figure4(arch.Tilera(), quickCfg)
+	fai := FindSeries(til, "FAI")
+	for _, other := range []string{"CAS", "TAS", "SWAP"} {
+		if fai.At(24) <= FindSeries(til, other).At(24) {
+			t.Errorf("Tilera FAI (%.1f) must beat %s (%.1f)", fai.At(24), other, FindSeries(til, other).At(24))
+		}
+	}
+	// Single-sockets do not collapse: throughput at full load stays within
+	// 2x of the few-core value.
+	for _, pn := range []string{"Niagara", "Tilera"} {
+		p := arch.ByName(pn)
+		fig := Figure4(p, quickCfg)
+		f := FindSeries(fig, "FAI")
+		few, full := f.Points[2].Y, f.Points[len(f.Points)-1].Y
+		if full < few/2 {
+			t.Errorf("%s: FAI collapsed from %.1f to %.1f — single-sockets must stay stable", pn, few, full)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	// Extreme contention on the Xeon: hierarchical locks are the best at
+	// scale (paper §6.1.2); multi-socket throughput at high counts is far
+	// below single-thread.
+	p := arch.Xeon()
+	fig := Figure5(p, quickCfg)
+	ht := FindSeries(fig, "HTICKET")
+	tas := FindSeries(fig, "TAS")
+	if ht.At(40) <= tas.At(40) {
+		t.Errorf("HTICKET (%.2f) must beat TAS (%.2f) under extreme contention across sockets",
+			ht.At(40), tas.At(40))
+	}
+	ticket := FindSeries(fig, "TICKET")
+	if ticket.At(1) < 4*ticket.At(40) {
+		t.Errorf("Xeon single-lock throughput must collapse by >4x across sockets (1: %.2f, 40: %.2f)",
+			ticket.At(1), ticket.At(40))
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	// Very low contention: simple locks match or beat the queue locks
+	// (paper: "it is generally the ticket lock that performs the best" on
+	// the Opteron/Niagara/Tilera), and single-sockets scale.
+	p := arch.Niagara()
+	fig := Figure7(p, quickCfg)
+	ticket := FindSeries(fig, "TICKET")
+	mcs := FindSeries(fig, "MCS")
+	n := 32
+	if ticket.At(n) < mcs.At(n)*0.9 {
+		t.Errorf("Niagara low contention: TICKET (%.1f) should be at least on par with MCS (%.1f)",
+			ticket.At(n), mcs.At(n))
+	}
+	if ticket.At(32) < 4*ticket.At(1) {
+		t.Errorf("Niagara must scale under low contention: 1 thread %.1f, 32 threads %.1f",
+			ticket.At(1), ticket.At(32))
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	p := arch.Opteron()
+	res := Figure6(p, quickCfg)
+	get := func(alg simlocks.Alg, class string) float64 {
+		for _, r := range res {
+			if r.Alg == alg && r.Class == class {
+				return r.Cycles
+			}
+		}
+		t.Fatalf("missing %s/%s", alg, class)
+		return 0
+	}
+	// Crossing sockets costs much more than staying on the die; remote
+	// acquisitions can be an order of magnitude above single-threaded.
+	for _, alg := range []simlocks.Alg{simlocks.TAS, simlocks.TICKET, simlocks.MCS} {
+		if get(alg, "two hops") <= get(alg, "same die") {
+			t.Errorf("%s: two-hop acquisition must cost more than same-die", alg)
+		}
+		if get(alg, "two hops") < 2*get(alg, "single thread") {
+			t.Errorf("%s: remote acquisition must dwarf the single-thread case", alg)
+		}
+	}
+	// MUTEX carries parking overhead even uncontested vs the spin locks.
+	if get(simlocks.MUTEX, "single thread") <= get(simlocks.TAS, "single thread") {
+		t.Error("MUTEX uncontested latency should exceed TAS's")
+	}
+}
+
+func TestFigure8BestLockVaries(t *testing.T) {
+	// "Every locking scheme has its fifteen minutes of fame": across
+	// platforms and contention levels, more than one algorithm must win.
+	winners := map[simlocks.Alg]bool{}
+	for _, p := range []*arch.Platform{arch.Opteron(), arch.Niagara()} {
+		for _, nLocks := range []int{4, 128} {
+			for _, r := range Figure8(p, nLocks, quickCfg) {
+				winners[r.Alg] = true
+			}
+		}
+	}
+	if len(winners) < 2 {
+		t.Errorf("a single lock won everywhere (%v) — the paper finds no universal winner", winners)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	// One-way ≈ half the round-trip; Tilera hardware MP is far cheaper
+	// than the Xeon's cache-coherence MP at distance.
+	xeon := Figure9(arch.Xeon(), quickCfg)
+	for _, r := range xeon {
+		if r.RoundTrip < r.OneWay*1.5 {
+			t.Errorf("Xeon %s: round-trip (%.0f) should be ≈2× one-way (%.0f)", r.Class, r.RoundTrip, r.OneWay)
+		}
+	}
+	if xeon[len(xeon)-1].OneWay <= xeon[0].OneWay {
+		t.Error("Xeon MP latency must grow with distance")
+	}
+	til := Figure9(arch.Tilera(), quickCfg)
+	if til[0].OneWay > 100 {
+		t.Errorf("Tilera hardware one-way = %.0f cycles, want <100 (paper: 61)", til[0].OneWay)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	// A single server saturates: throughput reaches a bound and stays
+	// there; the Tilera (hardware MP) reaches the highest bound.
+	til := Figure10(arch.Tilera(), quickCfg)
+	rt := FindSeries(til, "round-trip")
+	last := rt.Points[len(rt.Points)-1]
+	first := rt.Points[0]
+	if last.Y < first.Y {
+		t.Errorf("Tilera round-trip throughput must not degrade with clients (%.1f -> %.1f)", first.Y, last.Y)
+	}
+	nia := Figure10(arch.Niagara(), quickCfg)
+	niaRT := FindSeries(nia, "round-trip")
+	if til.Series[1].Points[len(rt.Points)-1].Y < niaRT.Points[len(niaRT.Points)-1].Y {
+		t.Error("Tilera hardware MP should outperform Niagara software MP at full load")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	// High contention (12 buckets): message passing beats the best lock at
+	// scale on the Opteron; low contention (512): locks win everywhere.
+	p := arch.Opteron()
+	high := Figure11(p, 12, 12, quickCfg)
+	low := Figure11(p, 512, 12, quickCfg)
+	lastHigh := high[len(high)-1]
+	if lastHigh.MPMops <= lastHigh.BestMops {
+		t.Errorf("high contention at %d threads: mp (%.2f) should beat locks (%.2f)",
+			lastHigh.Threads, lastHigh.MPMops, lastHigh.BestMops)
+	}
+	for _, r := range low {
+		if r.Threads == 1 {
+			continue
+		}
+		if r.MPMops > r.BestMops {
+			t.Errorf("low contention at %d threads: locks (%.2f) should beat mp (%.2f)",
+				r.Threads, r.BestMops, r.MPMops)
+		}
+	}
+	// Low contention scales far better than high contention.
+	if low[len(low)-1].Scalability < lastHigh.Scalability {
+		t.Error("low-contention scalability should exceed high-contention scalability")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	// Set test: lock choice matters (29-50% speed-ups over MUTEX); get
+	// test: it does not.
+	p := arch.Xeon()
+	set := Figure12(p, false, quickCfg)
+	if sp := KVSSpeedup(set); sp < 0.10 {
+		t.Errorf("set-test best-lock speed-up over MUTEX = %.0f%%, want ≥10%%", sp*100)
+	}
+	get := Figure12(p, true, quickCfg)
+	if sp := KVSSpeedup(get); sp > 0.10 || sp < -0.10 {
+		t.Errorf("get-test speed-up = %.0f%%, want ≈0 (lock-insensitive)", sp*100)
+	}
+	// Throughput saturates: 18 threads is not ≥16x of 1 thread.
+	var one, eighteen float64
+	for _, r := range set {
+		if r.Alg == simlocks.TICKET {
+			if r.Threads == 1 {
+				one = r.Kops
+			}
+			if r.Threads == 18 {
+				eighteen = r.Kops
+			}
+		}
+	}
+	if eighteen > 16*one {
+		t.Errorf("set test must not scale linearly to 18 threads (1: %.1f, 18: %.1f)", one, eighteen)
+	}
+}
+
+func TestTMShape(t *testing.T) {
+	// §8: TM results mirror the hash table: mp wins under high contention
+	// at scale, locks win under low contention.
+	p := arch.Opteron()
+	high := TMExperiment(p, 8, quickCfg)
+	low := TMExperiment(p, 1024, quickCfg)
+	lastH := high[len(high)-1]
+	if lastH.MPMops <= lastH.LockMops {
+		t.Errorf("high contention TM at %d threads: mp (%.3f) should beat locks (%.3f)",
+			lastH.Threads, lastH.MPMops, lastH.LockMops)
+	}
+	lastL := low[len(low)-1]
+	if lastL.LockMops <= lastL.MPMops {
+		t.Errorf("low contention TM: locks (%.3f) should beat mp (%.3f)", lastL.LockMops, lastL.MPMops)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	nc := AblationNoContention(arch.Opteron(), 24, quickCfg)
+	if nc.Off <= nc.On {
+		t.Errorf("disabling line serialisation must raise throughput (%.1f vs %.1f)", nc.Off, nc.On)
+	}
+	pf := AblationProbeFilter(24, quickCfg)
+	if pf.Off <= pf.On {
+		t.Errorf("a complete directory must beat the probe filter (%.2f vs %.2f)", pf.Off, pf.On)
+	}
+	mp := AblationMPPrefetchw(quickCfg)
+	if mp.On >= mp.Off {
+		t.Errorf("prefetchw must cut Opteron MP latency (%.0f vs %.0f)", mp.On, mp.Off)
+	}
+	tb := AblationTicketBackoff(24, quickCfg)
+	if tb.On >= tb.Off {
+		t.Errorf("back-off must cut naive ticket latency (%.0f vs %.0f)", tb.On, tb.Off)
+	}
+}
+
+func TestDeterministicExperiments(t *testing.T) {
+	a := LockThroughput(arch.Opteron(), simlocks.TICKET, 12, 4, quickCfg)
+	b := LockThroughput(arch.Opteron(), simlocks.TICKET, 12, 4, quickCfg)
+	if a != b {
+		t.Fatalf("experiment not reproducible: %v vs %v", a, b)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	p := arch.Niagara()
+	cfg := Config{Deadline: 30_000, LatencyOps: 10, Reps: 1}
+	if s := FormatFigure(Figure4(p, cfg)); len(s) == 0 {
+		t.Error("empty Figure4 rendering")
+	}
+	if s := FormatTable3(p); len(s) == 0 {
+		t.Error("empty Table3 rendering")
+	}
+	if s := FormatFigure9(p, Figure9(p, cfg)); len(s) == 0 {
+		t.Error("empty Figure9 rendering")
+	}
+	if s := FormatFigure6(p, Figure6(p, cfg)); len(s) == 0 {
+		t.Error("empty Figure6 rendering")
+	}
+}

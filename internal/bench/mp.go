@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+	"ssync/internal/simmp"
+)
+
+// MPLatency is one Figure 9 bar pair: one-way and round-trip latency for a
+// core pair at a distance.
+type MPLatency struct {
+	Class     string
+	OneWay    float64
+	RoundTrip float64
+}
+
+// Figure9 reproduces "One-to-one communication latencies of message
+// passing depending on the distance between the two cores".
+func Figure9(p *arch.Platform, cfg Config) []MPLatency {
+	cfg = cfg.orDefault()
+	var out []MPLatency
+	for _, class := range uncontestedClasses(p) {
+		b := pickAtClass(p, 0, class)
+		if b < 0 {
+			continue
+		}
+		out = append(out, MPLatency{
+			Class:     p.DistNames[class],
+			OneWay:    mpOneWay(p, 0, b, cfg),
+			RoundTrip: mpRoundTrip(p, 0, b, cfg),
+		})
+	}
+	return out
+}
+
+// mpOneWay measures one-way message latency: each message carries its
+// send timestamp and the receiver averages arrival minus send. (On the
+// Tilera's pipelined hardware network, per-message *throughput* cost is
+// far below the flight latency; the paper's Figure 9 reports latency.)
+func mpOneWay(p *arch.Platform, a, b int, cfg Config) float64 {
+	m := memsim.New(p)
+	net := simmp.NewNetwork(m, []int{a, b}, simmp.DefaultOptions(m))
+	n := cfg.LatencyOps
+	var total uint64
+	m.Spawn(a, func(t *memsim.Thread) {
+		for i := 0; i < n; i++ {
+			net.Send(t, b, simmp.Msg{W: [7]uint64{t.Now()}})
+			// Pace the stream so each latency sample is independent.
+			t.Pause(200)
+		}
+	})
+	m.Spawn(b, func(t *memsim.Thread) {
+		for i := 0; i < n; i++ {
+			msg := net.Recv(t, a)
+			total += t.Now() - msg.W[0]
+		}
+	})
+	m.Run()
+	return float64(total) / float64(n)
+}
+
+// mpRoundTrip measures the per-call cost of request-response ping-pong.
+func mpRoundTrip(p *arch.Platform, a, b int, cfg Config) float64 {
+	m := memsim.New(p)
+	net := simmp.NewNetwork(m, []int{a, b}, simmp.DefaultOptions(m))
+	n := cfg.LatencyOps
+	m.Spawn(a, func(t *memsim.Thread) {
+		for i := 0; i < n; i++ {
+			net.Call(t, b, simmp.Msg{W: [7]uint64{uint64(i)}})
+		}
+	})
+	m.Spawn(b, func(t *memsim.Thread) {
+		for i := 0; i < n; i++ {
+			from, msg := net.RecvAny(t)
+			net.Send(t, from, msg)
+		}
+	})
+	cycles := m.Run()
+	return float64(cycles) / float64(n)
+}
+
+// Figure10 reproduces "Total throughput of client-server communication":
+// one server, a growing number of clients, one-way and round-trip modes.
+func Figure10(p *arch.Platform, cfg Config) Figure {
+	cfg = cfg.orDefault()
+	fig := Figure{
+		Name:     "Figure 10: client-server throughput",
+		Platform: p.Name,
+		XLabel:   "clients",
+		YLabel:   "throughput (Mops/s)",
+	}
+	counts := []int{1, 2, 5}
+	for n := 10; n < p.NumCores; n += 5 {
+		counts = append(counts, n)
+	}
+	oneWay := Series{Label: "one-way"}
+	roundTrip := Series{Label: "round-trip"}
+	for _, n := range counts {
+		ow, rt := clientServer(p, n, cfg)
+		oneWay.Points = append(oneWay.Points, Point{X: n, Y: ow})
+		roundTrip.Points = append(roundTrip.Points, Point{X: n, Y: rt})
+	}
+	fig.Series = append(fig.Series, oneWay, roundTrip)
+	return fig
+}
+
+// poison is the message word clients use to announce they are finished;
+// the server exits once every client has said goodbye, so no thread is
+// ever left parked on an unserved buffer.
+const poison = ^uint64(0)
+
+// clientServer measures total message throughput with one server and
+// nClients clients, in both modes.
+func clientServer(p *arch.Platform, nClients int, cfg Config) (oneWay, roundTrip float64) {
+	for mode := 0; mode < 2; mode++ {
+		m := memsim.New(p)
+		cores := p.PlaceThreads(nClients + 1)
+		net := simmp.NewNetwork(m, cores, simmp.DefaultOptions(m))
+		server := cores[0]
+		stop := cfg.Deadline
+		var served uint64
+		m.Spawn(server, func(t *memsim.Thread) {
+			done := 0
+			for done < nClients {
+				from, msg := net.RecvAny(t)
+				if msg.W[0] == poison {
+					done++
+					continue
+				}
+				if mode == 1 {
+					net.Send(t, from, msg)
+				}
+				if t.Now() <= stop {
+					served++
+				}
+			}
+		})
+		for _, c := range cores[1:] {
+			c := c
+			m.Spawn(c, func(t *memsim.Thread) {
+				for t.Now() < stop {
+					if mode == 1 {
+						net.Call(t, server, simmp.Msg{W: [7]uint64{1}})
+					} else {
+						net.Send(t, server, simmp.Msg{W: [7]uint64{1}})
+					}
+				}
+				net.Send(t, server, simmp.Msg{W: [7]uint64{poison}})
+			})
+		}
+		m.Run()
+		mops := p.MopsFrom(served, stop)
+		if mode == 0 {
+			oneWay = mops
+		} else {
+			roundTrip = mops
+		}
+	}
+	return oneWay, roundTrip
+}

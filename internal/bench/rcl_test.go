@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"testing"
+
+	"ssync/internal/arch"
+)
+
+func TestRCLCrossover(t *testing.T) {
+	// §7: RCL's scope "is limited to high contention and a large number of
+	// cores". At one thread a lock is far better than paying a round-trip
+	// per critical section; at full machine scale RCL must be competitive
+	// with (here: beat) the best lock on a single hot critical section.
+	p := arch.Opteron()
+	rows := RCLExperiment(p, quickCfg)
+	first, last := rows[0], rows[len(rows)-1]
+	if first.RCLMops >= first.LockMops {
+		t.Errorf("at %d threads a lock (%.2f) must beat RCL (%.2f)",
+			first.Threads, first.LockMops, first.RCLMops)
+	}
+	if last.RCLMops <= last.LockMops {
+		t.Errorf("at %d threads RCL (%.2f) should beat the best lock (%.2f)",
+			last.Threads, last.RCLMops, last.LockMops)
+	}
+}

@@ -1,0 +1,64 @@
+// Package bits implements a small dense bitset used to track cache-line
+// sharer sets in the machine simulator.
+//
+// Sharer sets are bounded by the core count of the simulated platform
+// (at most 80 for the Xeon model), so a fixed two-word representation is
+// enough and keeps line metadata allocation-free.
+package bits
+
+import mathbits "math/bits"
+
+// Set is a bitset holding up to Cap members (0..Cap-1).
+type Set struct {
+	w [2]uint64
+}
+
+// Cap is the maximum number of members a Set can hold.
+const Cap = 128
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) { s.w[i>>6] |= 1 << uint(i&63) }
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) { s.w[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether i is a member.
+func (s *Set) Has(i int) bool { return s.w[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Clear empties the set.
+func (s *Set) Clear() { s.w[0], s.w[1] = 0, 0 }
+
+// Len returns the number of members.
+func (s *Set) Len() int {
+	return mathbits.OnesCount64(s.w[0]) + mathbits.OnesCount64(s.w[1])
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return s.w[0] == 0 && s.w[1] == 0 }
+
+// ForEach calls f for every member in ascending order.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.w {
+		for w != 0 {
+			b := mathbits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Any returns an arbitrary member (the smallest), or -1 if empty.
+func (s *Set) Any() int {
+	if s.w[0] != 0 {
+		return mathbits.TrailingZeros64(s.w[0])
+	}
+	if s.w[1] != 0 {
+		return 64 + mathbits.TrailingZeros64(s.w[1])
+	}
+	return -1
+}
+
+// Only reports whether i is the sole member of the set.
+func (s *Set) Only(i int) bool {
+	return s.Len() == 1 && s.Has(i)
+}

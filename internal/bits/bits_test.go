@@ -1,0 +1,109 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set must be empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(127)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	for _, i := range []int{0, 63, 64, 127} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false", i)
+		}
+	}
+	if s.Has(1) || s.Has(65) {
+		t.Error("unexpected members")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Len() != 3 {
+		t.Error("Remove(63) failed")
+	}
+	if got := s.Any(); got != 0 {
+		t.Errorf("Any = %d, want 0", got)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear failed")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	var s Set
+	want := []int{3, 17, 64, 90, 127}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+func TestOnly(t *testing.T) {
+	var s Set
+	s.Add(42)
+	if !s.Only(42) {
+		t.Error("Only(42) = false for singleton {42}")
+	}
+	if s.Only(41) {
+		t.Error("Only(41) = true for singleton {42}")
+	}
+	s.Add(7)
+	if s.Only(42) {
+		t.Error("Only(42) = true for two-element set")
+	}
+}
+
+func TestAnyEmpty(t *testing.T) {
+	var s Set
+	if s.Any() != -1 {
+		t.Errorf("Any on empty = %d, want -1", s.Any())
+	}
+}
+
+// Property: Add/Remove sequences agree with a reference map implementation.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var s Set
+		ref := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % Cap
+			if op&0x8000 != 0 {
+				s.Remove(i)
+				delete(ref, i)
+			} else {
+				s.Add(i)
+				ref[i] = true
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for i := 0; i < Cap; i++ {
+			if s.Has(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

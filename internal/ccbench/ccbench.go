@@ -1,0 +1,299 @@
+// Package ccbench reproduces the paper's ccbench microbenchmarks: the cost
+// of a load, store or atomic operation on a cache line as a function of
+// the line's coherence state and the distance to its current holder
+// (Tables 2 and 3, §5.1–§5.2).
+//
+// Each case brings a fresh line into the desired state — with helper
+// threads placed like the paper places them (sharers near the holder, the
+// directory on the holder's node for the best-case numbers) — and then
+// measures a single access from the requester.
+package ccbench
+
+import (
+	"fmt"
+
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+	"ssync/internal/stats"
+)
+
+// Case identifies one microbenchmark configuration.
+type Case struct {
+	Op    arch.Op
+	State arch.State
+	Class int // distance class (platform-specific; hop count on the Tilera)
+}
+
+// String renders the case the way the paper's tables label it.
+func (c Case) String() string {
+	return fmt.Sprintf("%v on %v at class %d", c.Op, c.State, c.Class)
+}
+
+// Result is the measured latency of a case.
+type Result struct {
+	Case
+	ClassName string
+	Cycles    float64 // mean over repetitions
+	RelStddev float64
+	Reps      int
+}
+
+// ReportClasses returns the distance classes the paper reports for a
+// platform (for the Tilera: one hop and the mesh diameter).
+func ReportClasses(p *arch.Platform) []int {
+	if p.Name == "Tilera" {
+		return []int{1, 10}
+	}
+	classes := make([]int, p.NumClasses())
+	for i := range classes {
+		classes[i] = i
+	}
+	return classes
+}
+
+// Cases enumerates the paper's Table 2 rows for a platform: loads and
+// stores on every state, atomics on Modified and Shared. The Owned state
+// exists only on the MOESI Opteron family.
+func Cases(p *arch.Platform) []Case {
+	var out []Case
+	states := []arch.State{arch.Modified, arch.Owned, arch.Exclusive, arch.Shared, arch.Invalid}
+	for _, class := range ReportClasses(p) {
+		for _, st := range states {
+			if st == arch.Owned && !p.IncompleteDirectory {
+				continue
+			}
+			out = append(out, Case{arch.Load, st, class})
+			out = append(out, Case{arch.Store, st, class})
+		}
+		for _, op := range arch.AtomicOps {
+			out = append(out, Case{op, arch.Modified, class})
+			out = append(out, Case{op, arch.Shared, class})
+		}
+	}
+	return out
+}
+
+// Run measures one case with the given number of repetitions (each on a
+// fresh cache line) and returns the mean latency.
+func Run(p *arch.Platform, c Case, reps int) Result {
+	if reps <= 0 {
+		reps = 5
+	}
+	var acc stats.Online
+	for rep := 0; rep < reps; rep++ {
+		acc.Add(float64(measure(p, c, rep)))
+	}
+	name := "?"
+	if c.Class >= 0 && c.Class < len(p.DistNames) {
+		name = p.DistNames[c.Class]
+	}
+	return Result{Case: c, ClassName: name, Cycles: acc.Mean(), RelStddev: acc.RelStddev(), Reps: reps}
+}
+
+// pickHolder returns a core at the given distance class from the
+// requester, or -1 if the platform has no such pair.
+func pickHolder(p *arch.Platform, requester, class int) int {
+	for c := 0; c < p.NumCores; c++ {
+		if c != requester && p.DistClass(requester, c) == class {
+			return c
+		}
+	}
+	return -1
+}
+
+// pickNear returns a core close to h (same die / same physical core) to
+// act as an extra sharer, excluding the listed cores.
+func pickNear(p *arch.Platform, h int, exclude ...int) int {
+	for c := 0; c < p.NumCores; c++ {
+		skip := c == h
+		for _, e := range exclude {
+			if c == e {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		if p.DistClass(h, c) == 0 {
+			return c
+		}
+	}
+	// Fall back to any spare core.
+	for c := 0; c < p.NumCores; c++ {
+		skip := c == h
+		for _, e := range exclude {
+			if c == e {
+				skip = true
+			}
+		}
+		if !skip {
+			return c
+		}
+	}
+	return -1
+}
+
+// allocTarget picks the line for a repetition. On the Tilera the home tile
+// must sit at the requested hop distance from the requester, so lines are
+// allocated until one matches; elsewhere the line is homed on the holder's
+// node (the paper's best case: the directory is local to one of the
+// involved cores) or, for Invalid lines, at the class distance from the
+// requester since the access goes to memory.
+func allocTarget(m *memsim.Machine, c Case, requester, holder int) memsim.Addr {
+	p := m.Plat
+	if p.Name == "Tilera" {
+		for i := 0; i < 4096; i++ {
+			a := m.AllocLine(0)
+			if p.Hops(requester, p.HomeTile(a.Line())) == c.Class {
+				return a
+			}
+		}
+		panic("ccbench: no line with the requested home-tile distance")
+	}
+	if c.State == arch.Invalid {
+		// Memory access: pick the node at the requested class.
+		for n := 0; n < p.NumNodes; n++ {
+			if p.DistClassToNode(requester, n) == c.Class {
+				return m.AllocLine(n)
+			}
+		}
+		return m.AllocLine(p.NodeOf(requester))
+	}
+	if c.State == arch.Shared || c.State == arch.Owned {
+		// The paper's shared-line rows place the directory with the
+		// *storer* (footnote 6: two sharers at the indicated distance from
+		// a third core that performs the store), so broadcasts start at a
+		// local directory.
+		return m.AllocLine(p.NodeOf(requester))
+	}
+	if holder >= 0 {
+		return m.AllocLine(p.NodeOf(holder))
+	}
+	return m.AllocLine(p.NodeOf(requester))
+}
+
+// measure runs one repetition and returns the access latency in cycles.
+func measure(p *arch.Platform, c Case, rep int) uint64 {
+	m := memsim.New(p)
+	requester := 0
+	holder := pickHolder(p, requester, c.Class)
+	if c.State != arch.Invalid && holder < 0 {
+		panic(fmt.Sprintf("ccbench: %s has no core at class %d", p.Name, c.Class))
+	}
+	// Burn a few allocations so different reps land on different lines
+	// (this matters on the Tilera, where the home tile is a hash).
+	for i := 0; i < rep; i++ {
+		m.AllocLine(0)
+	}
+	target := allocTarget(m, c, requester, holder)
+	phase := m.AllocLine(p.NodeOf(requester))
+
+	var latency uint64
+	ready := uint64(0) // phase at which the requester measures
+
+	switch c.State {
+	case arch.Invalid:
+		ready = 0
+	case arch.Modified, arch.Exclusive:
+		ready = 1
+		m.Spawn(holder, func(t *memsim.Thread) {
+			if c.State == arch.Modified {
+				t.Store(target, 1)
+			} else {
+				t.Load(target)
+			}
+			t.Store(phase, 1)
+		})
+	case arch.Owned:
+		// Holder dirties the line, a nearby core loads it: MOESI moves the
+		// line to Owned at the holder.
+		ready = 2
+		aux := pickNear(p, holder, requester)
+		m.Spawn(holder, func(t *memsim.Thread) {
+			t.Store(target, 1)
+			t.Store(phase, 1)
+		})
+		m.Spawn(aux, func(t *memsim.Thread) {
+			t.WaitUntil(phase, func(v uint64) bool { return v == 1 })
+			t.Load(target)
+			t.Store(phase, 2)
+		})
+	case arch.Shared:
+		// Two sharers near each other at the class distance from the
+		// requester (the paper's store-on-shared methodology, footnote 6).
+		ready = 2
+		aux := pickNear(p, holder, requester)
+		m.Spawn(aux, func(t *memsim.Thread) {
+			t.Load(target) // Invalid → Exclusive
+			t.Store(phase, 1)
+		})
+		m.Spawn(holder, func(t *memsim.Thread) {
+			t.WaitUntil(phase, func(v uint64) bool { return v == 1 })
+			t.Load(target) // Exclusive → Shared
+			t.Store(phase, 2)
+		})
+	}
+
+	m.Spawn(requester, func(t *memsim.Thread) {
+		if ready > 0 {
+			t.WaitUntil(phase, func(v uint64) bool { return v == ready })
+		}
+		start := t.Now()
+		switch c.Op {
+		case arch.Load:
+			t.Load(target)
+		case arch.Store:
+			t.Store(target, 7)
+		case arch.CAS:
+			t.CAS(target, 1, 2)
+		case arch.FAI:
+			t.FAI(target)
+		case arch.TAS:
+			t.TAS(target)
+		case arch.SWAP:
+			t.Swap(target, 9)
+		}
+		latency = t.Now() - start
+	})
+	m.Run()
+	return latency
+}
+
+// LocalResult is one Table 3 row.
+type LocalResult struct {
+	Level  string
+	Cycles uint64
+}
+
+// Table3 reports the local-access latencies. The simulator models a single
+// private cache level plus memory, so L1 and RAM are measured and L2/LLC
+// are the platform's calibrated constants.
+func Table3(p *arch.Platform) []LocalResult {
+	// Measure from the core closest to its own memory controller (the
+	// paper's local-access setup); on the Tilera mesh this is the tile
+	// adjacent to a controller.
+	requester := 0
+	for c := 1; c < p.NumCores; c++ {
+		if p.DistClassToNode(c, p.NodeOf(c)) < p.DistClassToNode(requester, p.NodeOf(requester)) {
+			requester = c
+		}
+	}
+	m := memsim.New(p)
+	a := m.AllocLine(p.NodeOf(requester))
+	var l1, ram uint64
+	m.Spawn(requester, func(t *memsim.Thread) {
+		start := t.Now()
+		t.Load(a) // Invalid: memory access
+		ram = t.Now() - start
+		start = t.Now()
+		t.Load(a) // cached
+		l1 = t.Now() - start
+	})
+	m.Run()
+	return []LocalResult{
+		{"L1", l1},
+		{"L2", p.L2},
+		{"LLC", p.LLC},
+		{"RAM", ram},
+	}
+}

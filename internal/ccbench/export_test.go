@@ -1,0 +1,11 @@
+package ccbench
+
+import (
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+)
+
+// Aliases keeping the directory-placement test readable.
+type thread = memsim.Thread
+
+func newMachineForTest(p *arch.Platform) *memsim.Machine { return memsim.New(p) }

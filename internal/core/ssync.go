@@ -1,0 +1,266 @@
+// Package core is the SSYNC suite facade: it names the pieces of the
+// cross-platform synchronization suite this repository reproduces and
+// binds every table and figure of the paper's evaluation to the harness
+// that regenerates it (the per-experiment index of DESIGN.md).
+//
+// The suite mirrors the paper's §4:
+//
+//   - libslock  → internal/locks (native) and internal/simlocks (simulated)
+//   - libssmp   → internal/mp (native) and internal/simmp (simulated)
+//   - ccbench   → internal/ccbench on the internal/memsim machine models
+//   - ssht      → internal/ssht (native) and the Figure 11 model in bench
+//   - TM2C      → internal/tm (native) and the §8 model in bench
+//   - Memcached → internal/kvs (native) and the Figure 12 model in bench
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ssync/internal/arch"
+	"ssync/internal/bench"
+)
+
+// Version identifies the suite.
+const Version = "ssync-go 1.0 (SOSP'13 reproduction)"
+
+// Experiment is one regenerable artifact of the paper.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id (T2, F3, …, X3).
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Platforms lists the machine models the artifact covers.
+	Platforms []string
+	// Run regenerates the artifact for one platform and writes the rows to
+	// w. The configuration scales the simulated duration.
+	Run func(w io.Writer, platform string, cfg bench.Config) error
+}
+
+var allPlatforms = []string{"Opteron", "Xeon", "Niagara", "Tilera"}
+
+// Experiments returns the full per-experiment index in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID: "T2", Title: "Table 2: cache-coherence latencies", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				_, err = fmt.Fprintln(w, bench.FormatTable2(p, cfg.Reps))
+				return err
+			},
+		},
+		{
+			ID: "T3", Title: "Table 3: local caches and memory latencies", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				_, err = fmt.Fprintln(w, bench.FormatTable3(p))
+				return err
+			},
+		},
+		{
+			ID: "F3", Title: "Figure 3: ticket lock implementations (Opteron)", Platforms: []string{"Opteron"},
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				_, err := fmt.Fprintln(w, bench.FormatFigure(bench.Figure3(cfg)))
+				return err
+			},
+		},
+		{
+			ID: "F4", Title: "Figure 4: atomic operations on one location", Platforms: allPlatforms,
+			Run: figureRunner(bench.Figure4),
+		},
+		{
+			ID: "F5", Title: "Figure 5: locks, single lock (extreme contention)", Platforms: allPlatforms,
+			Run: figureRunner(bench.Figure5),
+		},
+		{
+			ID: "F6", Title: "Figure 6: uncontested lock acquisition by distance", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				_, err = fmt.Fprintln(w, bench.FormatFigure6(p, bench.Figure6(p, cfg)))
+				return err
+			},
+		},
+		{
+			ID: "F7", Title: "Figure 7: locks, 512 locks (very low contention)", Platforms: allPlatforms,
+			Run: figureRunner(bench.Figure7),
+		},
+		{
+			ID: "F8", Title: "Figure 8: best lock and scalability by lock count", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				for _, nLocks := range []int{4, 16, 32, 128} {
+					if _, err := fmt.Fprintln(w, bench.FormatFigure8(p, nLocks, bench.Figure8(p, nLocks, cfg))); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID: "F9", Title: "Figure 9: one-to-one message passing by distance", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				_, err = fmt.Fprintln(w, bench.FormatFigure9(p, bench.Figure9(p, cfg)))
+				return err
+			},
+		},
+		{
+			ID: "F10", Title: "Figure 10: client-server message passing", Platforms: allPlatforms,
+			Run: figureRunner(bench.Figure10),
+		},
+		{
+			ID: "F11", Title: "Figure 11: ssht hash table", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				for _, c := range []struct{ buckets, entries int }{{12, 12}, {12, 48}, {512, 12}, {512, 48}} {
+					rows := bench.Figure11(p, c.buckets, c.entries, cfg)
+					if _, err := fmt.Fprintln(w, bench.FormatFigure11(p, c.buckets, c.entries, rows)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID: "F12", Title: "Figure 12: Memcached-style set test", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				_, err = fmt.Fprintln(w, bench.FormatFigure12(p, bench.Figure12(p, false, cfg)))
+				return err
+			},
+		},
+		{
+			ID: "X1", Title: "§6.4 get test: lock-insensitive", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				rows := bench.Figure12(p, true, cfg)
+				if _, err := fmt.Fprintln(w, bench.FormatFigure12(p, rows)); err != nil {
+					return err
+				}
+				return nil
+			},
+		},
+		{
+			ID: "X2", Title: "§8 small multi-sockets: cross/intra ratios", Platforms: []string{"Opteron2", "Xeon2"},
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				intra := float64(p.Lat(arch.Load, arch.Modified, 0))
+				cross := float64(p.Lat(arch.Load, arch.Modified, 1))
+				_, err = fmt.Fprintf(w, "%s: intra %0.f cycles, cross %.0f cycles, ratio %.2f\n\n",
+					p.Name, intra, cross, cross/intra)
+				return err
+			},
+		},
+		{
+			ID: "X3", Title: "§8 TM2C: locks vs message passing", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				for _, stripes := range []int{8, 1024} {
+					fmt.Fprintf(w, "TM on %s, %d stripes:\n", p.Name, stripes)
+					for _, r := range bench.TMExperiment(p, stripes, cfg) {
+						fmt.Fprintf(w, "  %2d threads: locks %7.3f Mops/s   mp %7.3f Mops/s\n",
+							r.Threads, r.LockMops, r.MPMops)
+					}
+					fmt.Fprintln(w)
+				}
+				return nil
+			},
+		},
+		{
+			ID: "X4", Title: "§7 Remote Core Locking: one hot lock, RCL vs spin locks", Platforms: allPlatforms,
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				p, err := platform(pn)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "RCL on %s (one hot critical section):\n", p.Name)
+				for _, r := range bench.RCLExperiment(p, cfg) {
+					fmt.Fprintf(w, "  %2d threads: best lock %7.3f Mops/s   rcl %7.3f Mops/s\n",
+						r.Threads, r.LockMops, r.RCLMops)
+				}
+				fmt.Fprintln(w)
+				return nil
+			},
+		},
+		{
+			ID: "O1", Title: "§5.3 ablations: prefetchw, back-off, contention model", Platforms: []string{"Opteron"},
+			Run: func(w io.Writer, pn string, cfg bench.Config) error {
+				for _, a := range []bench.AblationResult{
+					bench.AblationNoContention(arch.Opteron(), 24, cfg),
+					bench.AblationProbeFilter(24, cfg),
+					bench.AblationMPPrefetchw(cfg),
+					bench.AblationTicketBackoff(24, cfg),
+				} {
+					fmt.Fprintf(w, "  %-42s on: %10.2f   off: %10.2f\n", a.Name, a.On, a.Off)
+				}
+				fmt.Fprintln(w)
+				return nil
+			},
+		},
+	}
+}
+
+// ByID returns the experiment with the given id, or an error listing the
+// valid ids.
+func ByID(id string) (Experiment, error) {
+	var ids []string
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have %v)", id, ids)
+}
+
+func platform(name string) (*arch.Platform, error) {
+	p := arch.ByName(name)
+	if p == nil {
+		return nil, fmt.Errorf("core: unknown platform %q (have %v)", name, arch.Names())
+	}
+	return p, nil
+}
+
+func figureRunner(f func(*arch.Platform, bench.Config) bench.Figure) func(io.Writer, string, bench.Config) error {
+	return func(w io.Writer, pn string, cfg bench.Config) error {
+		p, err := platform(pn)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, bench.FormatFigure(f(p, cfg)))
+		return err
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ssync/internal/bench"
+)
+
+var tiny = bench.Config{Deadline: 25_000, LatencyOps: 8, Reps: 1}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be registered.
+	want := []string{"T2", "T3", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12"}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from the registry", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("F5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("F99"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment once")
+	}
+	for _, e := range Experiments() {
+		// Use the cheapest covered platform to keep this fast.
+		pn := e.Platforms[len(e.Platforms)-1]
+		var buf bytes.Buffer
+		if err := e.Run(&buf, pn, tiny); err != nil {
+			t.Errorf("%s on %s: %v", e.ID, pn, err)
+			continue
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s on %s produced no output", e.ID, pn)
+		}
+	}
+}
+
+func TestBadPlatformErrors(t *testing.T) {
+	e, err := ByID("F4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, "PDP-11", tiny); err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Fatalf("expected unknown-platform error, got %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package kvs is an in-memory key-value store with Memcached's locking
+// anatomy (the paper's §6.4 testbed): a hash table under fine-grained
+// bucket locks, per-item CAS tokens, TTL expiry, an LRU maintained per
+// shard, and — true to Memcached 1.4 — a global cache lock taken by the
+// set path for item allocation accounting and by periodic maintenance.
+// Every lock is a pluggable libslock algorithm, which is exactly the
+// paper's experiment: swap the pthread mutexes for ticket/TAS/MCS locks
+// and observe the set-workload throughput change.
+package kvs
+
+import (
+	"container/list"
+	"fmt"
+
+	"ssync/internal/locks"
+	"ssync/internal/pad"
+)
+
+// Item is one stored object.
+type Item struct {
+	Key     string
+	Value   []byte
+	CasID   uint64
+	Expires uint64 // logical clock value; 0 = never
+	lruElem *list.Element
+	shard   int
+}
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the number of independently locked hash-table shards
+	// (Memcached's item_locks). Default 256.
+	Shards int
+	// MaxItemsPerShard bounds each shard; the LRU evicts beyond it.
+	// Default 4096.
+	MaxItemsPerShard int
+	// Lock selects the algorithm for both the shard locks and the global
+	// cache lock. Default MUTEX (stock Memcached).
+	Lock locks.Algorithm
+	// MaxThreads is forwarded to ARRAY locks.
+	MaxThreads int
+	// GlobalEvery makes every Nth set take the global lock for simulated
+	// maintenance (slab/LRU bookkeeping). 1 = every set (Memcached 1.4's
+	// cache_lock); 0 disables. Default 1.
+	GlobalEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 256
+	}
+	if o.MaxItemsPerShard <= 0 {
+		o.MaxItemsPerShard = 4096
+	}
+	if o.Lock == "" {
+		o.Lock = locks.MUTEX
+	}
+	if o.GlobalEvery == 0 {
+		o.GlobalEvery = 1
+	}
+	return o
+}
+
+// shard is one lock domain: a map plus its LRU list.
+type shard struct {
+	items map[string]*Item
+	lru   *list.List // front = most recent
+	_     [pad.CacheLineSize]byte
+}
+
+// Store is the key-value store. Access goes through per-goroutine Handles.
+type Store struct {
+	opt        Options
+	shards     []shard
+	shardLocks []locks.Lock
+	global     locks.Lock
+
+	// Counters maintained under the global lock (memcached-style stats).
+	casCounter uint64
+	evictions  uint64
+	setOps     uint64
+
+	clock pad.Uint64 // logical time for TTLs
+}
+
+// New creates a store.
+func New(opt Options) *Store {
+	opt = opt.withDefaults()
+	s := &Store{
+		opt:        opt,
+		shards:     make([]shard, opt.Shards),
+		shardLocks: make([]locks.Lock, opt.Shards),
+		global:     locks.New(opt.Lock, locks.Options{MaxThreads: opt.MaxThreads}),
+	}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]*Item)
+		s.shards[i].lru = list.New()
+		s.shardLocks[i] = locks.New(opt.Lock, locks.Options{MaxThreads: opt.MaxThreads})
+	}
+	return s
+}
+
+// Tick advances the logical TTL clock by one.
+func (s *Store) Tick() { s.clock.Add(1) }
+
+// Now returns the logical time.
+func (s *Store) Now() uint64 { return s.clock.Load() }
+
+// Evictions returns the number of LRU evictions so far.
+func (s *Store) Evictions() uint64 {
+	h := s.NewHandle(0)
+	h.lockGlobal()
+	defer h.unlockGlobal()
+	return s.evictions
+}
+
+// Handle is a per-goroutine accessor carrying lock tokens.
+type Handle struct {
+	s         *Store
+	shardToks []*locks.Token
+	globalTok *locks.Token
+	node      int
+}
+
+// NewHandle creates an accessor; node is the NUMA hint for hierarchical
+// locks.
+func (s *Store) NewHandle(node int) *Handle {
+	return &Handle{
+		s:         s,
+		shardToks: make([]*locks.Token, s.opt.Shards),
+		globalTok: s.global.NewToken(node),
+		node:      node,
+	}
+}
+
+func (h *Handle) shardOf(key string) int {
+	// FNV-1a over the key.
+	hash := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		hash ^= uint64(key[i])
+		hash *= 1099511628211
+	}
+	return int(hash % uint64(h.s.opt.Shards))
+}
+
+func (h *Handle) lockShard(i int) {
+	if h.shardToks[i] == nil {
+		h.shardToks[i] = h.s.shardLocks[i].NewToken(h.node)
+	}
+	h.s.shardLocks[i].Acquire(h.shardToks[i])
+}
+
+func (h *Handle) unlockShard(i int)                 { h.s.shardLocks[i].Release(h.shardToks[i]) }
+func (h *Handle) lockGlobal()                       { h.s.global.Acquire(h.globalTok) }
+func (h *Handle) unlockGlobal()                     { h.s.global.Release(h.globalTok) }
+func (h *Handle) expired(it *Item, now uint64) bool { return it.Expires != 0 && it.Expires <= now }
+
+// Get returns a copy of the value under key.
+func (h *Handle) Get(key string) ([]byte, bool) {
+	i := h.shardOf(key)
+	h.lockShard(i)
+	defer h.unlockShard(i)
+	sh := &h.s.shards[i]
+	it, ok := sh.items[key]
+	if !ok {
+		return nil, false
+	}
+	if h.expired(it, h.s.Now()) {
+		sh.lru.Remove(it.lruElem)
+		delete(sh.items, key)
+		return nil, false
+	}
+	sh.lru.MoveToFront(it.lruElem)
+	out := make([]byte, len(it.Value))
+	copy(out, it.Value)
+	return out, true
+}
+
+// GetCas returns the value and its CAS token.
+func (h *Handle) GetCas(key string) ([]byte, uint64, bool) {
+	i := h.shardOf(key)
+	h.lockShard(i)
+	defer h.unlockShard(i)
+	sh := &h.s.shards[i]
+	it, ok := sh.items[key]
+	if !ok || h.expired(it, h.s.Now()) {
+		return nil, 0, false
+	}
+	out := make([]byte, len(it.Value))
+	copy(out, it.Value)
+	return out, it.CasID, true
+}
+
+// Set stores value under key with the given TTL in logical ticks (0 =
+// forever). This is the write path the paper stresses: it touches the
+// global cache lock for allocation/LRU accounting, then the shard lock.
+func (h *Handle) Set(key string, value []byte, ttl uint64) {
+	var cas uint64
+	if h.s.opt.GlobalEvery > 0 {
+		h.lockGlobal()
+		h.s.setOps++
+		h.s.casCounter++
+		cas = h.s.casCounter
+		h.unlockGlobal()
+	} else {
+		cas = 1
+	}
+	i := h.shardOf(key)
+	h.lockShard(i)
+	defer h.unlockShard(i)
+	h.storeLocked(i, key, value, ttl, cas)
+}
+
+// storeLocked inserts or replaces under the shard lock, evicting from the
+// LRU tail when the shard is full.
+func (h *Handle) storeLocked(i int, key string, value []byte, ttl uint64, cas uint64) {
+	sh := &h.s.shards[i]
+	var exp uint64
+	if ttl > 0 {
+		exp = h.s.Now() + ttl
+	}
+	if it, ok := sh.items[key]; ok {
+		it.Value = append(it.Value[:0], value...)
+		it.CasID = cas
+		it.Expires = exp
+		sh.lru.MoveToFront(it.lruElem)
+		return
+	}
+	if sh.lru.Len() >= h.s.opt.MaxItemsPerShard {
+		tail := sh.lru.Back()
+		victim := tail.Value.(*Item)
+		sh.lru.Remove(tail)
+		delete(sh.items, victim.Key)
+		if h.s.opt.GlobalEvery > 0 {
+			h.lockGlobal()
+			h.s.evictions++
+			h.unlockGlobal()
+		}
+	}
+	it := &Item{Key: key, Value: append([]byte(nil), value...), CasID: cas, Expires: exp, shard: i}
+	it.lruElem = sh.lru.PushFront(it)
+	sh.items[key] = it
+}
+
+// Cas stores value only if the item's CAS token still equals casID; it
+// reports whether the swap happened.
+func (h *Handle) Cas(key string, value []byte, casID uint64) bool {
+	var next uint64
+	if h.s.opt.GlobalEvery > 0 {
+		h.lockGlobal()
+		h.s.casCounter++
+		next = h.s.casCounter
+		h.unlockGlobal()
+	} else {
+		next = casID + 1
+	}
+	i := h.shardOf(key)
+	h.lockShard(i)
+	defer h.unlockShard(i)
+	sh := &h.s.shards[i]
+	it, ok := sh.items[key]
+	if !ok || h.expired(it, h.s.Now()) || it.CasID != casID {
+		return false
+	}
+	it.Value = append(it.Value[:0], value...)
+	it.CasID = next
+	sh.lru.MoveToFront(it.lruElem)
+	return true
+}
+
+// Delete removes key; it reports whether it was present.
+func (h *Handle) Delete(key string) bool {
+	i := h.shardOf(key)
+	h.lockShard(i)
+	defer h.unlockShard(i)
+	sh := &h.s.shards[i]
+	it, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	sh.lru.Remove(it.lruElem)
+	delete(sh.items, key)
+	return true
+}
+
+// Len counts live items (diagnostics; takes all shard locks in turn).
+func (h *Handle) Len() int {
+	n := 0
+	for i := range h.s.shards {
+		h.lockShard(i)
+		n += len(h.s.shards[i].items)
+		h.unlockShard(i)
+	}
+	return n
+}
+
+// String describes the store configuration.
+func (s *Store) String() string {
+	return fmt.Sprintf("kvs(%d shards, %s locks, %d items/shard max)",
+		s.opt.Shards, s.opt.Lock, s.opt.MaxItemsPerShard)
+}

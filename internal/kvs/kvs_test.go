@@ -1,0 +1,137 @@
+package kvs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ssync/internal/locks"
+)
+
+func TestBasicOps(t *testing.T) {
+	h := New(Options{Shards: 8}).NewHandle(0)
+	if _, ok := h.Get("a"); ok {
+		t.Fatal("Get on empty store")
+	}
+	h.Set("a", []byte("one"), 0)
+	if v, ok := h.Get("a"); !ok || string(v) != "one" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	h.Set("a", []byte("two"), 0)
+	if v, _ := h.Get("a"); string(v) != "two" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if !h.Delete("a") || h.Delete("a") {
+		t.Fatal("Delete semantics broken")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	// Mutating a returned value must not corrupt the store.
+	h := New(Options{}).NewHandle(0)
+	h.Set("k", []byte("hello"), 0)
+	v, _ := h.Get("k")
+	v[0] = 'X'
+	if got, _ := h.Get("k"); string(got) != "hello" {
+		t.Fatalf("store corrupted through returned slice: %q", got)
+	}
+}
+
+func TestCas(t *testing.T) {
+	h := New(Options{}).NewHandle(0)
+	h.Set("k", []byte("v1"), 0)
+	_, cas, ok := h.GetCas("k")
+	if !ok {
+		t.Fatal("GetCas")
+	}
+	if !h.Cas("k", []byte("v2"), cas) {
+		t.Fatal("first Cas must win")
+	}
+	if h.Cas("k", []byte("v3"), cas) {
+		t.Fatal("stale Cas must lose")
+	}
+	if v, _ := h.Get("k"); string(v) != "v2" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s := New(Options{})
+	h := s.NewHandle(0)
+	h.Set("k", []byte("v"), 3)
+	if _, ok := h.Get("k"); !ok {
+		t.Fatal("fresh item must be visible")
+	}
+	s.Tick()
+	s.Tick()
+	if _, ok := h.Get("k"); !ok {
+		t.Fatal("item expired early")
+	}
+	s.Tick()
+	if _, ok := h.Get("k"); ok {
+		t.Fatal("item did not expire")
+	}
+	if h.Len() != 0 {
+		t.Fatal("expired item not reaped")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(Options{Shards: 1, MaxItemsPerShard: 4})
+	h := s.NewHandle(0)
+	for i := 0; i < 4; i++ {
+		h.Set(fmt.Sprintf("k%d", i), []byte("v"), 0)
+	}
+	h.Get("k0") // refresh k0: k1 becomes the LRU tail
+	h.Set("k4", []byte("v"), 0)
+	if _, ok := h.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	if _, ok := h.Get("k0"); !ok {
+		t.Fatal("recently used k0 must survive")
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	for _, alg := range []locks.Algorithm{locks.MUTEX, locks.TAS, locks.TICKET, locks.MCS} {
+		s := New(Options{Shards: 16, Lock: alg, MaxThreads: 16})
+		var wg sync.WaitGroup
+		const nG = 6
+		for g := 0; g < nG; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := s.NewHandle(g % 2)
+				for i := 0; i < 500; i++ {
+					key := fmt.Sprintf("g%d-k%d", g, i%37)
+					h.Set(key, []byte{byte(i)}, 0)
+					if v, ok := h.Get(key); !ok || v[0] != byte(i) {
+						t.Errorf("%s: lost own write on %s", alg, key)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if n := s.NewHandle(0).Len(); n != nG*37 {
+			t.Errorf("%s: Len = %d, want %d", alg, n, nG*37)
+		}
+	}
+}
+
+func TestLoadgen(t *testing.T) {
+	s := New(Options{Shards: 32, Lock: locks.TICKET})
+	res := Run(s, Workload{Clients: 4, SetPercent: 50, Keys: 100, ValueSize: 16, OpsPerClient: 500})
+	if res.Ops != 4*500 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Hits == 0 {
+		t.Fatal("a 50%% set mix over 100 keys must produce hits")
+	}
+	if res.Kops() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}

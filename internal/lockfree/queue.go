@@ -1,0 +1,173 @@
+// Package lockfree implements the lock-free data structures the paper
+// scopes as future work (§8: "we do not study lock-free techniques, an
+// appealing way of designing mutual exclusion-free data structures"):
+// the Michael–Scott queue [31] — which the paper already cites for its
+// long-runs methodology — and the Treiber stack.
+//
+// Both are linearizable, allocation-per-node, unbounded structures built
+// on atomic pointers; they complement libslock by covering the
+// synchronization style the paper's evaluation deliberately leaves out,
+// and the benches compare them against their lock-based twins under the
+// same contention methodology.
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"ssync/internal/pad"
+)
+
+// qnode is one queue cell.
+type qnode[T any] struct {
+	value T
+	next  atomic.Pointer[qnode[T]]
+}
+
+// Queue is the Michael–Scott non-blocking FIFO queue [31].
+type Queue[T any] struct {
+	head pad.Pointer[qnode[T]]
+	tail pad.Pointer[qnode[T]]
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	dummy := &qnode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v at the tail.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &qnode[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; retry
+		}
+		if next != nil {
+			// Tail is lagging: help swing it forward, then retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			// Linearization point; swinging the tail may be helped by
+			// anyone, so a failure here is fine.
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the head value; ok is false when the queue
+// is empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return v, false // empty
+			}
+			// Tail lagging behind an in-flight enqueue: help it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		val := next.value
+		if q.head.CompareAndSwap(head, next) {
+			return val, true
+		}
+	}
+}
+
+// Empty reports whether the queue looked empty at some instant.
+func (q *Queue[T]) Empty() bool {
+	head := q.head.Load()
+	return head.next.Load() == nil && head == q.tail.Load()
+}
+
+// snode is one stack cell.
+type snode[T any] struct {
+	value T
+	next  *snode[T]
+}
+
+// Stack is the Treiber non-blocking LIFO stack.
+type Stack[T any] struct {
+	top pad.Pointer[snode[T]]
+}
+
+// NewStack returns an empty stack.
+func NewStack[T any]() *Stack[T] { return &Stack[T]{} }
+
+// Push adds v on top.
+func (s *Stack[T]) Push(v T) {
+	n := &snode[T]{value: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok is false when empty.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return v, false
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			return top.value, true
+		}
+	}
+}
+
+// Empty reports whether the stack looked empty at some instant.
+func (s *Stack[T]) Empty() bool { return s.top.Load() == nil }
+
+// LockedQueue is the lock-based baseline: the same FIFO behind a libslock
+// algorithm, for the lock-free-versus-locks comparison benches.
+type LockedQueue[T any] struct {
+	mu    locker
+	items []T
+}
+
+// locker is the minimal lock surface LockedQueue needs (satisfied by
+// locks.Locker).
+type locker interface {
+	Lock()
+	Unlock()
+}
+
+// NewLockedQueue wraps a FIFO in the given lock.
+func NewLockedQueue[T any](mu locker) *LockedQueue[T] {
+	return &LockedQueue[T]{mu: mu}
+}
+
+// Enqueue appends v.
+func (q *LockedQueue[T]) Enqueue(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+// Dequeue pops the oldest element.
+func (q *LockedQueue[T]) Dequeue() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

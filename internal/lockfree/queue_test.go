@@ -1,0 +1,259 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/locks"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty queue")
+	}
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d, %v", i, v, ok)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueueConcurrentMPMC(t *testing.T) {
+	q := NewQueue[uint64]()
+	const producers, consumers, perP = 4, 4, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(uint64(p)<<32 | uint64(i))
+			}
+		}()
+	}
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	lastPerProducer := map[uint64]int64{}
+	var consumed int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				done := consumed >= producers*perP
+				mu.Unlock()
+				if done {
+					return
+				}
+				v, ok := q.Dequeue()
+				if !ok {
+					continue
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %x dequeued twice", v)
+				}
+				seen[v] = true
+				// Per-producer FIFO: sequence numbers from one producer
+				// must be observed in order by the linearized dequeues.
+				p, i := v>>32, int64(v&0xffffffff)
+				if last, ok := lastPerProducer[p]; ok && i < last {
+					// Different consumers may interleave, but the dequeue
+					// order we record under the mutex is the linearization
+					// order only approximately; skip strictness here and
+					// rely on the single-consumer test for FIFO.
+					_ = last
+				}
+				lastPerProducer[p] = i
+				consumed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != producers*perP {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perP)
+	}
+}
+
+func TestQueueSingleConsumerOrder(t *testing.T) {
+	q := NewQueue[uint64]()
+	const producers, perP = 4, 1500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(uint64(p)<<32 | uint64(i))
+			}
+		}()
+	}
+	last := map[uint64]int64{0: -1, 1: -1, 2: -1, 3: -1}
+	got := 0
+	for got < producers*perP {
+		v, ok := q.Dequeue()
+		if !ok {
+			continue
+		}
+		p, i := v>>32, int64(v&0xffffffff)
+		if i <= last[p] {
+			t.Fatalf("producer %d out of order: %d after %d", p, i, last[p])
+		}
+		last[p] = i
+		got++
+	}
+	wg.Wait()
+}
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack[string]()
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop from empty stack")
+	}
+	s.Push("a")
+	s.Push("b")
+	if v, _ := s.Pop(); v != "b" {
+		t.Fatalf("got %q, want b", v)
+	}
+	if v, _ := s.Pop(); v != "a" {
+		t.Fatalf("got %q, want a", v)
+	}
+	if !s.Empty() {
+		t.Fatal("stack should be empty")
+	}
+}
+
+func TestStackConcurrentConservation(t *testing.T) {
+	s := NewStack[int]()
+	const nG, perG = 6, 2000
+	var wg sync.WaitGroup
+	var popped int64
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	for g := 0; g < nG; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Push(g*perG + i)
+				if v, ok := s.Pop(); ok {
+					mu.Lock()
+					if seen[v] {
+						t.Errorf("value %d popped twice", v)
+					}
+					seen[v] = true
+					popped++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain the leftovers.
+	for {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice during drain", v)
+		}
+		seen[v] = true
+		popped++
+	}
+	if popped != nG*perG {
+		t.Fatalf("conservation violated: %d pops, want %d", popped, nG*perG)
+	}
+}
+
+// Property: any single-threaded interleaving of queue ops matches a slice
+// reference.
+func TestQuickQueueAgainstSlice(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := NewQueue[int16]()
+		var ref []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Enqueue(op)
+				ref = append(ref, op)
+			} else {
+				v, ok := q.Dequeue()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+		}
+		return q.Empty() == (len(ref) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockedQueueBaseline(t *testing.T) {
+	q := NewLockedQueue[int](locks.Locker{L: locks.New(locks.TICKET, locks.Options{})})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				q.Enqueue(g*1000 + i)
+			}
+		}()
+	}
+	wg.Wait()
+	count := 0
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 4000 {
+		t.Fatalf("locked queue lost elements: %d", count)
+	}
+}
+
+func BenchmarkQueueLockFreeVsLocked(b *testing.B) {
+	b.Run("lockfree", func(b *testing.B) {
+		q := NewQueue[int]()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				q.Enqueue(1)
+				q.Dequeue()
+			}
+		})
+	})
+	b.Run("ticket-locked", func(b *testing.B) {
+		q := NewLockedQueue[int](locks.Locker{L: locks.New(locks.TICKET, locks.Options{})})
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				q.Enqueue(1)
+				q.Dequeue()
+			}
+		})
+	})
+}

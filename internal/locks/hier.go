@@ -1,0 +1,152 @@
+package locks
+
+import "ssync/internal/pad"
+
+// The hierarchical locks are cohort locks (Dice, Marathe, Shavit [14];
+// the paper's hticket design). A global lock is owned by a NUMA *node*;
+// a per-node local lock hands the critical section between threads of
+// that node up to CohortLimit consecutive times before the global lock is
+// surrendered. The global lock's queue state travels with the cohort —
+// the surrendering thread is usually not the thread that acquired it.
+//
+// The per-node state is only read and written while holding that node's
+// local lock; the lock hand-over (an atomic store/load pair) publishes it.
+
+const cohortLimit = 64
+
+// hclhState is one node's cohort state for the HCLH lock.
+type hclhState struct {
+	hasGlobal bool
+	count     int
+	gCur      *clhNode // the cohort's global queue node
+	gPred     *clhNode
+	_         [pad.CacheLineSize - 32]byte
+}
+
+// hclhLock is the hierarchical CLH lock [27], realised as CLH-over-CLH
+// cohorts.
+type hclhLock struct {
+	global *clhLock
+	locals []*clhLock
+	state  []hclhState
+	limit  int
+}
+
+func newHCLHLock(opt Options) *hclhLock {
+	l := &hclhLock{
+		global: newCLHLock(),
+		locals: make([]*clhLock, opt.Nodes),
+		state:  make([]hclhState, opt.Nodes),
+		limit:  cohortLimit,
+	}
+	for i := range l.locals {
+		l.locals[i] = newCLHLock()
+	}
+	return l
+}
+
+func (l *hclhLock) Name() string { return string(HCLH) }
+
+func (l *hclhLock) NewToken(node int) *Token {
+	return &Token{node: node % len(l.locals), cur: &clhNode{}}
+}
+
+func (l *hclhLock) Acquire(tok *Token) {
+	n := tok.node
+	tok.pred = l.locals[n].acquireNode(tok.cur)
+	st := &l.state[n]
+	if st.hasGlobal {
+		return // global lock handed over within the cohort
+	}
+	if st.gCur == nil {
+		st.gCur = &clhNode{}
+	}
+	st.gPred = l.global.acquireNode(st.gCur)
+	st.hasGlobal = true
+}
+
+func (l *hclhLock) Release(tok *Token) {
+	n := tok.node
+	st := &l.state[n]
+	if st.count < l.limit && l.locals[n].tail.Load() != tok.cur {
+		// A cohort-mate is queued locally: pass the global lock along.
+		st.count++
+		l.releaseLocal(tok)
+		return
+	}
+	st.count = 0
+	st.hasGlobal = false
+	// Surrender the global lock, recycling its queue node for the cohort.
+	st.gCur.pending.Store(0)
+	st.gCur, st.gPred = st.gPred, nil
+	l.releaseLocal(tok)
+}
+
+func (l *hclhLock) releaseLocal(tok *Token) {
+	tok.cur.pending.Store(0)
+	tok.cur, tok.pred = tok.pred, nil
+}
+
+// hticketState is one node's cohort state for the HTICKET lock.
+type hticketState struct {
+	hasGlobal bool
+	count     int
+	gTicket   uint64
+	_         [pad.CacheLineSize - 24]byte
+}
+
+// hticketLock is the hierarchical ticket lock [14]: ticket-over-ticket
+// cohorts.
+type hticketLock struct {
+	global *ticketLock
+	locals []*ticketLock
+	state  []hticketState
+	limit  int
+}
+
+func newHTicketLock(opt Options) *hticketLock {
+	l := &hticketLock{
+		global: newTicketLock(opt),
+		locals: make([]*ticketLock, opt.Nodes),
+		state:  make([]hticketState, opt.Nodes),
+		limit:  cohortLimit,
+	}
+	for i := range l.locals {
+		l.locals[i] = newTicketLock(opt)
+	}
+	return l
+}
+
+func (l *hticketLock) Name() string { return string(HTICKET) }
+
+func (l *hticketLock) NewToken(node int) *Token {
+	return &Token{node: node % len(l.locals)}
+}
+
+func (l *hticketLock) Acquire(tok *Token) {
+	n := tok.node
+	l.locals[n].Acquire(tok) // records tok.ticket
+	st := &l.state[n]
+	if st.hasGlobal {
+		return
+	}
+	gtok := Token{}
+	l.global.Acquire(&gtok)
+	st.gTicket = gtok.ticket
+	st.hasGlobal = true
+}
+
+func (l *hticketLock) Release(tok *Token) {
+	n := tok.node
+	st := &l.state[n]
+	loc := l.locals[n]
+	if st.count < l.limit && loc.next.Load() > tok.ticket+1 {
+		st.count++
+		loc.Release(tok)
+		return
+	}
+	st.count = 0
+	st.hasGlobal = false
+	l.global.current.Store(st.gTicket + 1)
+	loc.Release(tok)
+}

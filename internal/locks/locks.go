@@ -1,0 +1,149 @@
+// Package locks is the native Go implementation of the paper's libslock:
+// nine lock algorithms behind one interface — the spin locks TAS, TTAS
+// (exponential back-off) and TICKET (proportional back-off), the ARRAY
+// lock, the queue locks MCS and CLH, the hierarchical (cohort) locks HCLH
+// and HTICKET, and MUTEX (sync.Mutex, the pthread-mutex stand-in).
+//
+// Unlike the simulator twins in internal/simlocks, these are real locks a
+// Go program can use today. Queue and hierarchical locks need per-goroutine
+// state, passed explicitly as a Token (Go has no cheap goroutine-local
+// storage); the simple locks accept a nil Token.
+//
+// Every spin loop yields to the scheduler after a bounded number of
+// iterations, so the locks are safe at any GOMAXPROCS — a pure busy-wait
+// would live-lock a single-P runtime.
+package locks
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Algorithm names a lock algorithm, using the paper's spelling.
+type Algorithm string
+
+// The nine algorithms of libslock.
+const (
+	TAS     Algorithm = "TAS"
+	TTAS    Algorithm = "TTAS"
+	TICKET  Algorithm = "TICKET"
+	ARRAY   Algorithm = "ARRAY"
+	MUTEX   Algorithm = "MUTEX"
+	MCS     Algorithm = "MCS"
+	CLH     Algorithm = "CLH"
+	HCLH    Algorithm = "HCLH"
+	HTICKET Algorithm = "HTICKET"
+)
+
+// All lists every algorithm.
+var All = []Algorithm{TAS, TTAS, TICKET, ARRAY, MUTEX, MCS, CLH, HCLH, HTICKET}
+
+// Lock is the common interface of all libslock algorithms.
+type Lock interface {
+	// Name returns the algorithm name.
+	Name() string
+	// NewToken creates the per-goroutine state for this lock. node is the
+	// NUMA-node hint used by the hierarchical algorithms (pass 0 when
+	// unknown). Tokens must not be shared between goroutines and must not
+	// be reused while a Lock acquired with them is held elsewhere.
+	NewToken(node int) *Token
+	// Acquire locks; tok may be nil for the simple algorithms (TAS, TTAS,
+	// TICKET, MUTEX).
+	Acquire(tok *Token)
+	// Release unlocks; it must receive the token used to Acquire.
+	Release(tok *Token)
+}
+
+// Token is the per-goroutine, per-lock state of the queue-based and
+// hierarchical algorithms.
+type Token struct {
+	node   int
+	slot   uint64   // ARRAY
+	qnode  *mcsNode // MCS
+	cur    *clhNode // CLH: node to enqueue next
+	pred   *clhNode // CLH: node being spun on / recycled
+	ticket uint64   // TICKET (kept per-token for re-entrancy diagnostics)
+}
+
+// Options configures lock construction.
+type Options struct {
+	// MaxThreads bounds the concurrent holders+waiters for the ARRAY lock
+	// (rounded up to a power of two). Default 128.
+	MaxThreads int
+	// Nodes is the NUMA node count for hierarchical locks. Default 2.
+	Nodes int
+	// BackoffUnit is the spin-iteration quantum for proportional/
+	// exponential back-off. Default 64.
+	BackoffUnit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 128
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 2
+	}
+	if o.BackoffUnit <= 0 {
+		o.BackoffUnit = 64
+	}
+	return o
+}
+
+// New constructs a lock of the given algorithm.
+func New(alg Algorithm, opt Options) Lock {
+	opt = opt.withDefaults()
+	switch alg {
+	case TAS:
+		return newTASLock()
+	case TTAS:
+		return newTTASLock(opt)
+	case TICKET:
+		return newTicketLock(opt)
+	case ARRAY:
+		return newArrayLock(opt)
+	case MUTEX:
+		return &mutexLock{}
+	case MCS:
+		return newMCSLock()
+	case CLH:
+		return newCLHLock()
+	case HCLH:
+		return newHCLHLock(opt)
+	case HTICKET:
+		return newHTicketLock(opt)
+	}
+	panic(fmt.Sprintf("locks: unknown algorithm %q", alg))
+}
+
+// spin burns a few cycles and yields to the runtime every so often, so
+// spinning cannot starve a small-GOMAXPROCS scheduler.
+type spinner int
+
+func (s *spinner) once() {
+	*s++
+	if *s%64 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// relax waits roughly n spin quanta.
+func relax(n int) {
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// Locker adapts a simple lock (nil-token algorithms) to sync.Locker.
+type Locker struct {
+	L Lock
+}
+
+// Lock acquires the underlying lock with a nil token.
+func (a Locker) Lock() { a.L.Acquire(nil) }
+
+// Unlock releases the underlying lock with a nil token.
+func (a Locker) Unlock() { a.L.Release(nil) }
+
+var _ sync.Locker = Locker{}

@@ -1,0 +1,223 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// hammer runs nG goroutines × rounds increments of an unsynchronised
+// counter under the lock; any mutual-exclusion violation loses updates.
+func hammer(t *testing.T, alg Algorithm, nG, rounds int) {
+	t.Helper()
+	l := New(alg, Options{MaxThreads: nG, Nodes: 2})
+	var counter int64 // plain int: only safe if the lock works
+	var inCS int32
+	var wg sync.WaitGroup
+	for g := 0; g < nG; g++ {
+		wg.Add(1)
+		node := g % 2
+		go func() {
+			defer wg.Done()
+			tok := l.NewToken(node)
+			for i := 0; i < rounds; i++ {
+				l.Acquire(tok)
+				if n := atomic.AddInt32(&inCS, 1); n != 1 {
+					t.Errorf("%s: %d goroutines inside the critical section", alg, n)
+				}
+				counter++
+				atomic.AddInt32(&inCS, -1)
+				l.Release(tok)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != int64(nG*rounds) {
+		t.Errorf("%s: counter = %d, want %d (lost updates)", alg, counter, nG*rounds)
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for _, alg := range All {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			hammer(t, alg, 8, 300)
+		})
+	}
+}
+
+func TestSingleGoroutine(t *testing.T) {
+	for _, alg := range All {
+		hammer(t, alg, 1, 100)
+	}
+}
+
+func TestManyGoroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, alg := range All {
+		hammer(t, alg, 32, 50)
+	}
+}
+
+func TestTicketFIFO(t *testing.T) {
+	// Tickets grant in draw order: with one holder and a queued waiter set,
+	// the completion order must match ticket order.
+	l := New(TICKET, Options{}).(*ticketLock)
+	const n = 6
+	var order []uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tok := l.NewToken(0)
+			l.Acquire(tok)
+			mu.Lock()
+			order = append(order, tok.ticket)
+			mu.Unlock()
+			l.Release(tok)
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for i, tk := range order {
+		if tk != uint64(i) {
+			t.Fatalf("ticket order violated: %v", order)
+		}
+	}
+}
+
+func TestLockerAdapter(t *testing.T) {
+	var mu sync.Locker = Locker{L: New(TTAS, Options{})}
+	done := make(chan bool)
+	mu.Lock()
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+		done <- true
+	}()
+	runtime.Gosched()
+	select {
+	case <-done:
+		t.Fatal("second Lock succeeded while held")
+	default:
+	}
+	mu.Unlock()
+	<-done
+}
+
+func TestUnknownAlgorithmPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(bogus) must panic")
+		}
+	}()
+	New(Algorithm("BOGUS"), Options{})
+}
+
+func TestArrayLockCapacity(t *testing.T) {
+	// More goroutines than MaxThreads is a misuse for ARRAY; within the
+	// bound it must be correct even at the exact capacity.
+	hammerN := func(nG int) {
+		l := New(ARRAY, Options{MaxThreads: nG})
+		var wg sync.WaitGroup
+		var counter int64
+		for g := 0; g < nG; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tok := l.NewToken(0)
+				for i := 0; i < 50; i++ {
+					l.Acquire(tok)
+					counter++
+					l.Release(tok)
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != int64(nG*50) {
+			t.Errorf("ARRAY with %d goroutines lost updates: %d", nG, counter)
+		}
+	}
+	hammerN(4)
+	hammerN(16)
+}
+
+func TestHierarchicalNodesIsolation(t *testing.T) {
+	// Tokens from different NUMA nodes must still exclude each other.
+	for _, alg := range []Algorithm{HCLH, HTICKET} {
+		l := New(alg, Options{Nodes: 4})
+		var counter int64
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			node := g % 4
+			go func() {
+				defer wg.Done()
+				tok := l.NewToken(node)
+				for i := 0; i < 200; i++ {
+					l.Acquire(tok)
+					counter++
+					l.Release(tok)
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != 8*200 {
+			t.Errorf("%s across 4 nodes lost updates: %d", alg, counter)
+		}
+	}
+}
+
+func TestTokenReuseAcrossAcquisitions(t *testing.T) {
+	// A token must be reusable for many acquire/release cycles (CLH
+	// recycles nodes; a bug here corrupts the queue).
+	for _, alg := range []Algorithm{MCS, CLH, HCLH} {
+		l := New(alg, Options{})
+		tok := l.NewToken(0)
+		for i := 0; i < 1000; i++ {
+			l.Acquire(tok)
+			l.Release(tok)
+		}
+	}
+}
+
+func BenchmarkUncontended(b *testing.B) {
+	for _, alg := range All {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			l := New(alg, Options{})
+			tok := l.NewToken(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Acquire(tok)
+				l.Release(tok)
+			}
+		})
+	}
+}
+
+func BenchmarkContended(b *testing.B) {
+	for _, alg := range All {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			l := New(alg, Options{})
+			var counter int64
+			b.RunParallel(func(pb *testing.PB) {
+				tok := l.NewToken(0)
+				for pb.Next() {
+					l.Acquire(tok)
+					counter++
+					l.Release(tok)
+				}
+			})
+		})
+	}
+}

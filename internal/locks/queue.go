@@ -1,0 +1,106 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"ssync/internal/pad"
+)
+
+// mcsNode is one MCS queue entry; next and the granted flag are padded so
+// two waiters never share a line.
+type mcsNode struct {
+	next    atomic.Pointer[mcsNode]
+	_       [pad.CacheLineSize - 8]byte
+	granted pad.Uint32
+}
+
+// mcsLock is the Mellor-Crummey–Scott queue lock [29].
+type mcsLock struct {
+	tail atomic.Pointer[mcsNode]
+	_    [pad.CacheLineSize - 8]byte
+}
+
+func newMCSLock() *mcsLock { return &mcsLock{} }
+
+func (l *mcsLock) Name() string { return string(MCS) }
+
+func (l *mcsLock) NewToken(node int) *Token {
+	return &Token{node: node, qnode: &mcsNode{}}
+}
+
+func (l *mcsLock) Acquire(tok *Token) {
+	q := tok.qnode
+	q.next.Store(nil)
+	q.granted.Store(0)
+	pred := l.tail.Swap(q)
+	if pred == nil {
+		return
+	}
+	pred.next.Store(q)
+	var s spinner
+	for q.granted.Load() == 0 {
+		s.once()
+	}
+}
+
+func (l *mcsLock) Release(tok *Token) {
+	q := tok.qnode
+	next := q.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(q, nil) {
+			return
+		}
+		var s spinner
+		for next = q.next.Load(); next == nil; next = q.next.Load() {
+			s.once()
+		}
+	}
+	next.granted.Store(1)
+}
+
+// clhNode is one CLH queue entry: a single padded "pending" flag the
+// successor spins on.
+type clhNode struct {
+	pending pad.Uint32
+}
+
+// clhLock is the Craig–Landin–Hagersten queue lock [43]: an implicit
+// queue; releasers recycle their predecessor's node.
+type clhLock struct {
+	tail atomic.Pointer[clhNode]
+	_    [pad.CacheLineSize - 8]byte
+}
+
+func newCLHLock() *clhLock {
+	l := &clhLock{}
+	l.tail.Store(&clhNode{}) // released dummy
+	return l
+}
+
+func (l *clhLock) Name() string { return string(CLH) }
+
+func (l *clhLock) NewToken(node int) *Token {
+	return &Token{node: node, cur: &clhNode{}}
+}
+
+func (l *clhLock) Acquire(tok *Token) {
+	tok.pred = l.acquireNode(tok.cur)
+}
+
+// acquireNode enqueues n and waits for the predecessor; it returns the
+// predecessor node, which the release path recycles.
+func (l *clhLock) acquireNode(n *clhNode) *clhNode {
+	n.pending.Store(1)
+	pred := l.tail.Swap(n)
+	var s spinner
+	for pred.pending.Load() != 0 {
+		s.once()
+	}
+	return pred
+}
+
+func (l *clhLock) Release(tok *Token) {
+	tok.cur.pending.Store(0)
+	tok.cur = tok.pred // recycle
+	tok.pred = nil
+}

@@ -1,0 +1,138 @@
+package locks
+
+import (
+	"sync"
+
+	"ssync/internal/pad"
+)
+
+// tasLock: spin on the atomic swap itself.
+type tasLock struct {
+	word pad.Uint32
+}
+
+func newTASLock() *tasLock { return &tasLock{} }
+
+func (l *tasLock) Name() string             { return string(TAS) }
+func (l *tasLock) NewToken(node int) *Token { return &Token{node: node} }
+
+func (l *tasLock) Acquire(*Token) {
+	var s spinner
+	for l.word.Swap(1) != 0 {
+		s.once()
+	}
+}
+
+func (l *tasLock) Release(*Token) { l.word.Store(0) }
+
+// ttasLock: spin reading until free, then attempt the swap; exponential
+// back-off after a failed attempt [4, 20].
+type ttasLock struct {
+	word pad.Uint32
+	unit int
+}
+
+func newTTASLock(opt Options) *ttasLock { return &ttasLock{unit: opt.BackoffUnit} }
+
+func (l *ttasLock) Name() string             { return string(TTAS) }
+func (l *ttasLock) NewToken(node int) *Token { return &Token{node: node} }
+
+func (l *ttasLock) Acquire(*Token) {
+	backoff := 1
+	for {
+		var s spinner
+		for l.word.Load() != 0 {
+			s.once()
+		}
+		if l.word.Swap(1) == 0 {
+			return
+		}
+		relax(backoff)
+		if backoff < 64 {
+			backoff *= 2
+		}
+	}
+}
+
+func (l *ttasLock) Release(*Token) { l.word.Store(0) }
+
+// ticketLock: FAI on next, spin on current with back-off proportional to
+// the queue position [29]. next and current live on separate cache lines
+// so ticket draws do not disturb the spinners.
+type ticketLock struct {
+	next    pad.Uint64
+	current pad.Uint64
+	unit    int
+}
+
+func newTicketLock(opt Options) *ticketLock { return &ticketLock{unit: opt.BackoffUnit} }
+
+func (l *ticketLock) Name() string             { return string(TICKET) }
+func (l *ticketLock) NewToken(node int) *Token { return &Token{node: node} }
+
+func (l *ticketLock) Acquire(tok *Token) {
+	ticket := l.next.Add(1) - 1
+	for {
+		cur := l.current.Load()
+		if cur == ticket {
+			if tok != nil {
+				tok.ticket = ticket
+			}
+			return
+		}
+		relax(int(ticket-cur) * l.unit / 64)
+	}
+}
+
+func (l *ticketLock) Release(*Token) {
+	// Only the holder mutates current, so a plain add-by-one via atomic
+	// store is safe and avoids a full RMW.
+	l.current.Store(l.current.Load() + 1)
+}
+
+// arrayLock: Anderson's array lock [20] — a padded flag slot per waiter,
+// each spinning on its own line.
+type arrayLock struct {
+	tail  pad.Uint64
+	slots []pad.Uint32
+	mask  uint64
+}
+
+func newArrayLock(opt Options) *arrayLock {
+	n := 1
+	for n < opt.MaxThreads {
+		n *= 2
+	}
+	l := &arrayLock{slots: make([]pad.Uint32, n), mask: uint64(n - 1)}
+	l.slots[0].Store(1)
+	return l
+}
+
+func (l *arrayLock) Name() string             { return string(ARRAY) }
+func (l *arrayLock) NewToken(node int) *Token { return &Token{node: node} }
+
+func (l *arrayLock) Acquire(tok *Token) {
+	idx := (l.tail.Add(1) - 1) & l.mask
+	var s spinner
+	for l.slots[idx].Load() == 0 {
+		s.once()
+	}
+	l.slots[idx].Store(0) // rearm for the next lap
+	tok.slot = idx
+}
+
+func (l *arrayLock) Release(tok *Token) {
+	l.slots[(tok.slot+1)&l.mask].Store(1)
+}
+
+// mutexLock wraps sync.Mutex — the fairness-and-parking behaviour closest
+// to the paper's pthread mutex that the Go runtime offers.
+type mutexLock struct {
+	mu sync.Mutex
+	_  [pad.CacheLineSize - 8]byte
+}
+
+func (l *mutexLock) Name() string             { return string(MUTEX) }
+func (l *mutexLock) NewToken(node int) *Token { return &Token{node: node} }
+func (l *mutexLock) Acquire(*Token)           { l.mu.Lock() }
+func (l *mutexLock) Release(*Token)           { l.mu.Unlock() }

@@ -1,0 +1,144 @@
+package locks
+
+import (
+	"time"
+
+	"ssync/internal/pad"
+)
+
+// Timeout-capable locks, after Scott and Scherer's "Scalable queue-based
+// spin locks with timeout" [40], which the paper lists among the lock
+// families its study builds on. Two shapes are provided:
+//
+//   - TryLock: a polling try-acquire on the simple word locks (TAS-style),
+//     with an optional bounded patience;
+//   - TimeoutMCS: an abortable queue lock — a waiter that gives up marks
+//     its node abandoned, and releasers skip abandoned nodes, preserving
+//     the queue's local-spinning property.
+
+// TryLock is a word lock with try semantics.
+type TryLock struct {
+	word pad.Uint32
+}
+
+// NewTryLock returns an unlocked TryLock.
+func NewTryLock() *TryLock { return &TryLock{} }
+
+// TryAcquire attempts the lock once; it reports success.
+func (l *TryLock) TryAcquire() bool { return l.word.CompareAndSwap(0, 1) }
+
+// AcquireFor spins for at most d; it reports whether the lock was taken.
+func (l *TryLock) AcquireFor(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	var s spinner
+	for {
+		if l.TryAcquire() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		s.once()
+	}
+}
+
+// Acquire spins without bound.
+func (l *TryLock) Acquire() {
+	var s spinner
+	for !l.TryAcquire() {
+		s.once()
+	}
+}
+
+// Release unlocks.
+func (l *TryLock) Release() { l.word.Store(0) }
+
+// Timeout-MCS node states.
+const (
+	tmcsWaiting uint32 = iota
+	tmcsGranted
+	tmcsAbandoned
+)
+
+// tmcsNode is an abortable MCS queue node.
+type tmcsNode struct {
+	next  pad.Pointer[tmcsNode]
+	state pad.Uint32
+}
+
+// TimeoutMCS is an MCS queue lock whose waiters can abandon the queue
+// after a bounded wait. Abandoned nodes stay linked; the releaser (or a
+// later grant) skips them.
+type TimeoutMCS struct {
+	tail pad.Pointer[tmcsNode]
+}
+
+// NewTimeoutMCS returns an unlocked timeout-MCS lock.
+func NewTimeoutMCS() *TimeoutMCS { return &TimeoutMCS{} }
+
+// TMCSToken is the per-goroutine state of one acquisition.
+type TMCSToken struct {
+	node *tmcsNode
+}
+
+// AcquireFor enqueues and waits up to patience spin-quanta for the grant;
+// on timeout the node is abandoned and false is returned. patience <= 0
+// waits forever.
+func (l *TimeoutMCS) AcquireFor(tok *TMCSToken, patience int) bool {
+	n := &tmcsNode{}
+	tok.node = n
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		n.state.Store(tmcsGranted)
+		return true
+	}
+	pred.next.Store(n)
+	var s spinner
+	waited := 0
+	for {
+		switch n.state.Load() {
+		case tmcsGranted:
+			return true
+		case tmcsWaiting:
+			s.once()
+			waited++
+			if patience > 0 && waited >= patience {
+				// Attempt to abandon; a concurrent grant wins.
+				if n.state.CompareAndSwap(tmcsWaiting, tmcsAbandoned) {
+					tok.node = nil
+					return false
+				}
+				return true // granted in the meantime
+			}
+		}
+	}
+}
+
+// Acquire waits without bound.
+func (l *TimeoutMCS) Acquire(tok *TMCSToken) { l.AcquireFor(tok, 0) }
+
+// Release grants the lock to the first non-abandoned successor, skipping
+// (and unlinking) abandoned nodes; if none exists the lock becomes free.
+func (l *TimeoutMCS) Release(tok *TMCSToken) {
+	n := tok.node
+	tok.node = nil
+	for {
+		next := n.next.Load()
+		if next == nil {
+			// No known successor: try closing the queue.
+			if l.tail.CompareAndSwap(n, nil) {
+				return
+			}
+			// Someone is enqueueing behind us; wait for the link.
+			var s spinner
+			for next = n.next.Load(); next == nil; next = n.next.Load() {
+				s.once()
+			}
+		}
+		// Try to grant; an abandoned successor is skipped.
+		if next.state.CompareAndSwap(tmcsWaiting, tmcsGranted) {
+			return
+		}
+		n = next // successor abandoned: continue down the queue
+	}
+}

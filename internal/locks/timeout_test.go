@@ -1,0 +1,137 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTryLockSemantics(t *testing.T) {
+	l := NewTryLock()
+	if !l.TryAcquire() {
+		t.Fatal("first TryAcquire must win")
+	}
+	if l.TryAcquire() {
+		t.Fatal("second TryAcquire must lose")
+	}
+	if l.AcquireFor(time.Millisecond) {
+		t.Fatal("AcquireFor on a held lock must time out")
+	}
+	l.Release()
+	if !l.AcquireFor(time.Millisecond) {
+		t.Fatal("AcquireFor on a free lock must win")
+	}
+	l.Release()
+}
+
+func TestTryLockMutualExclusion(t *testing.T) {
+	l := NewTryLock()
+	var counter int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Acquire()
+				counter++
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*500 {
+		t.Fatalf("lost updates: %d", counter)
+	}
+}
+
+func TestTimeoutMCSBasic(t *testing.T) {
+	l := NewTimeoutMCS()
+	var tok TMCSToken
+	l.Acquire(&tok)
+	// A second acquirer with tiny patience must give up.
+	done := make(chan bool)
+	go func() {
+		var tok2 TMCSToken
+		done <- l.AcquireFor(&tok2, 3)
+	}()
+	if got := <-done; got {
+		t.Fatal("bounded waiter must time out while the lock is held")
+	}
+	l.Release(&tok)
+	// After the release the lock is acquirable again despite the
+	// abandoned node in between.
+	var tok3 TMCSToken
+	if !l.AcquireFor(&tok3, 1000000) {
+		t.Fatal("lock unacquirable after abandoned node")
+	}
+	l.Release(&tok3)
+}
+
+func TestTimeoutMCSMutualExclusion(t *testing.T) {
+	l := NewTimeoutMCS()
+	var counter int64
+	var inCS int32
+	var timeouts int64
+	var wg sync.WaitGroup
+	const nG, rounds = 8, 400
+	for g := 0; g < nG; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tok TMCSToken
+			for i := 0; i < rounds; i++ {
+				if !l.AcquireFor(&tok, 2000) {
+					atomic.AddInt64(&timeouts, 1)
+					runtime.Gosched()
+					continue
+				}
+				if n := atomic.AddInt32(&inCS, 1); n != 1 {
+					t.Errorf("%d goroutines in CS", n)
+				}
+				counter++
+				atomic.AddInt32(&inCS, -1)
+				l.Release(&tok)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter+timeouts != nG*rounds {
+		t.Fatalf("accounting broken: %d acquisitions + %d timeouts != %d",
+			counter, timeouts, nG*rounds)
+	}
+	if counter == 0 {
+		t.Fatal("nothing ever acquired the lock")
+	}
+}
+
+func TestTimeoutMCSSkipsAbandonedChains(t *testing.T) {
+	// Build a queue holder -> abandoned -> abandoned -> waiter, then
+	// release: the waiter at the end must be granted.
+	l := NewTimeoutMCS()
+	var holder TMCSToken
+	l.Acquire(&holder)
+	for i := 0; i < 2; i++ {
+		var quitter TMCSToken
+		if l.AcquireFor(&quitter, 2) {
+			t.Fatal("quitter should time out")
+		}
+	}
+	granted := make(chan struct{})
+	go func() {
+		var waiter TMCSToken
+		l.Acquire(&waiter)
+		close(granted)
+		l.Release(&waiter)
+	}()
+	// Let the waiter enqueue behind the abandoned nodes.
+	time.Sleep(2 * time.Millisecond)
+	l.Release(&holder)
+	select {
+	case <-granted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter behind abandoned nodes never granted")
+	}
+}

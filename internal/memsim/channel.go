@@ -1,0 +1,90 @@
+package memsim
+
+// Channel is a simulated hardware message-passing channel (the Tilera
+// iMesh user-dynamic network): a FIFO of small messages delivered to a
+// receiver core with a fixed flight latency, bypassing the cache-coherence
+// protocol entirely. Multiple senders may share one channel — the hardware
+// demultiplexes into the receiver's queue, which is how the Tilera's
+// one-queue-per-core network works.
+//
+// Channels reuse the line-based park/wake machinery: a receiver with an
+// empty queue parks on the channel's anchor line and is woken when a
+// message is enqueued.
+type Channel struct {
+	m      *Machine
+	anchor Addr
+	queue  []chanMsg
+	issue  uint64 // sender-side cost of injecting a message
+}
+
+type chanMsg struct {
+	val    [8]uint64
+	from   int
+	arrive uint64
+}
+
+// NewChannel creates a hardware channel delivering to the given receiver
+// core. It panics on platforms without hardware message passing.
+func (m *Machine) NewChannel(receiver int) *Channel {
+	if !m.Plat.HardwareMP {
+		panic("memsim: NewChannel on a platform without hardware message passing")
+	}
+	c := &Channel{
+		m:      m,
+		anchor: m.AllocLine(m.Plat.NodeOf(receiver)),
+		issue:  4,
+	}
+	m.getLine(c.anchor) // materialise the park anchor before any receiver parks
+	return c
+}
+
+// flight returns the network latency from a sender core to the receiver
+// core for one message.
+func (c *Channel) flight(from, to int) uint64 {
+	p := c.m.Plat
+	return p.MPBase + uint64(p.MPPerHop*float64(p.Hops(from, to))+0.5)
+}
+
+// ChanSend injects a message into the channel; it is received by core
+// `to`'s queue after the network flight time. Sending is fire-and-forget,
+// as on the modelled hardware.
+func (t *Thread) ChanSend(c *Channel, to int, val [8]uint64) {
+	t.sync()
+	t.c.clock += c.issue
+	arrive := t.c.clock + c.flight(t.c.id, to)
+	c.queue = append(c.queue, chanMsg{val: val, from: t.c.id, arrive: arrive})
+	t.m.wakeAll(t.m.getLine(c.anchor), arrive)
+}
+
+// ChanRecv dequeues the next message, blocking (parked, consuming no
+// simulated time) until one is available, and returns the payload and the
+// sender core.
+func (t *Thread) ChanRecv(c *Channel) ([8]uint64, int) {
+	for {
+		t.sync()
+		if len(c.queue) > 0 {
+			msg := c.queue[0]
+			c.queue = c.queue[1:]
+			if t.c.clock < msg.arrive {
+				t.c.clock = msg.arrive
+			}
+			t.c.clock += 2 // dequeue cost
+			return msg.val, msg.from
+		}
+		t.m.events <- event{core: t.c.id, kind: evPark, line: c.anchor.Line(), any: true}
+		<-t.c.grant
+	}
+}
+
+// ChanTryRecv dequeues a message if one has already arrived; ok reports
+// whether a message was returned. It never blocks.
+func (t *Thread) ChanTryRecv(c *Channel) (val [8]uint64, from int, ok bool) {
+	t.sync()
+	t.c.clock += 2 // queue-empty check
+	if len(c.queue) > 0 && c.queue[0].arrive <= t.c.clock {
+		msg := c.queue[0]
+		c.queue = c.queue[1:]
+		return msg.val, msg.from, true
+	}
+	return val, -1, false
+}

@@ -1,0 +1,146 @@
+package memsim
+
+import (
+	"testing"
+
+	"ssync/internal/arch"
+)
+
+func TestChannelFIFOAndLatency(t *testing.T) {
+	p := arch.Tilera()
+	m := New(p)
+	ch := m.NewChannel(35)
+	var latencies []uint64
+	const n = 20
+	m.Spawn(0, func(th *Thread) {
+		for i := 0; i < n; i++ {
+			th.ChanSend(ch, 35, [8]uint64{uint64(i), th.Now()})
+			th.Pause(500)
+		}
+	})
+	m.Spawn(35, func(th *Thread) {
+		for i := 0; i < n; i++ {
+			val, from := th.ChanRecv(ch)
+			if from != 0 {
+				t.Errorf("wrong sender %d", from)
+			}
+			if val[0] != uint64(i) {
+				t.Errorf("message %d arrived as %d (order)", i, val[0])
+			}
+			latencies = append(latencies, th.Now()-val[1])
+		}
+	})
+	m.Run()
+	// Flight for 10 hops ≈ MPBase + 0.4*10 ≈ 64, plus issue+dequeue.
+	for i, l := range latencies {
+		if l < 60 || l > 120 {
+			t.Errorf("message %d latency %d cycles, want ≈70", i, l)
+		}
+	}
+}
+
+func TestChannelMultipleSenders(t *testing.T) {
+	p := arch.Tilera()
+	m := New(p)
+	ch := m.NewChannel(0)
+	const perSender = 25
+	senders := []int{1, 6, 35}
+	for _, s := range senders {
+		s := s
+		m.Spawn(s, func(th *Thread) {
+			for i := 0; i < perSender; i++ {
+				th.ChanSend(ch, 0, [8]uint64{uint64(s)})
+				th.Pause(100)
+			}
+		})
+	}
+	counts := map[int]int{}
+	m.Spawn(0, func(th *Thread) {
+		for i := 0; i < perSender*len(senders); i++ {
+			_, from := th.ChanRecv(ch)
+			counts[from]++
+		}
+	})
+	m.Run()
+	for _, s := range senders {
+		if counts[s] != perSender {
+			t.Errorf("sender %d delivered %d, want %d", s, counts[s], perSender)
+		}
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	p := arch.Tilera()
+	m := New(p)
+	ch := m.NewChannel(1)
+	var gotEmpty, gotMsg bool
+	m.Spawn(1, func(th *Thread) {
+		if _, _, ok := th.ChanTryRecv(ch); !ok {
+			gotEmpty = true
+		}
+		th.Pause(5_000) // let the message arrive
+		if v, from, ok := th.ChanTryRecv(ch); ok && from == 0 && v[0] == 42 {
+			gotMsg = true
+		}
+	})
+	m.Spawn(0, func(th *Thread) {
+		th.Pause(100)
+		th.ChanSend(ch, 1, [8]uint64{42})
+	})
+	m.Run()
+	if !gotEmpty {
+		t.Error("TryRecv on an empty channel must miss")
+	}
+	if !gotMsg {
+		t.Error("TryRecv after delivery must hit")
+	}
+}
+
+func TestChannelOnNonMPPlatformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChannel on the Opteron must panic")
+		}
+	}()
+	New(arch.Opteron()).NewChannel(0)
+}
+
+func TestStoreMultiSingleTransaction(t *testing.T) {
+	p := arch.Xeon()
+	m := New(p)
+	a := m.AllocLine(0)
+	m.Spawn(0, func(th *Thread) {
+		th.Load(a) // bring the line in
+		th.StoreMulti(a, 1, 2, 3, 4, 5, 6, 7, 8)
+	})
+	m.Run()
+	for i := 0; i < 8; i++ {
+		if got := m.Peek(a + Addr(8*i)); got != uint64(i+1) {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+	// One load transfer; the burst store hits the local line.
+	if m.Stats.Transfers != 1 {
+		t.Errorf("transfers = %d, want 1 (burst must not re-transfer)", m.Stats.Transfers)
+	}
+}
+
+func TestMultiCrossLinePanics(t *testing.T) {
+	m := New(arch.Xeon())
+	a := m.AllocLine(0)
+	panicked := false
+	m.Spawn(0, func(th *Thread) {
+		// The bounds check fires before any scheduler interaction, so the
+		// thread can recover and terminate normally.
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		th.StoreMulti(a+32, 1, 2, 3, 4, 5) // words 4..8 spill over
+	})
+	m.Run()
+	if !panicked {
+		t.Error("StoreMulti across a line boundary must panic")
+	}
+}

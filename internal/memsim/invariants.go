@@ -1,0 +1,53 @@
+package memsim
+
+import (
+	"fmt"
+
+	"ssync/internal/arch"
+)
+
+// CheckInvariants validates the coherence metadata of every line and
+// returns the first violation found, or nil. Tests call it after runs;
+// the rules are the MESI/MOESI single-writer–multiple-reader contract:
+//
+//   - Modified/Exclusive: exactly one owner, no sharers;
+//   - Owned (MOESI platforms only): an owner plus zero or more sharers;
+//   - Shared: no owner, at least one sharer;
+//   - Invalid: no owner, no sharers.
+func (m *Machine) CheckInvariants() error {
+	for id, l := range m.lines {
+		addr := id << 6
+		switch l.state {
+		case arch.Modified, arch.Exclusive:
+			if l.owner < 0 || int(l.owner) >= m.Plat.NumCores {
+				return fmt.Errorf("line %#x: %v with owner %d", addr, l.state, l.owner)
+			}
+			if !l.sharers.Empty() {
+				return fmt.Errorf("line %#x: %v with sharers", addr, l.state)
+			}
+		case arch.Owned:
+			if !m.Plat.IncompleteDirectory {
+				return fmt.Errorf("line %#x: Owned state on %s (no MOESI)", addr, m.Plat.Name)
+			}
+			if l.owner < 0 || int(l.owner) >= m.Plat.NumCores {
+				return fmt.Errorf("line %#x: Owned with owner %d", addr, l.owner)
+			}
+		case arch.Shared:
+			if l.sharers.Empty() {
+				return fmt.Errorf("line %#x: Shared with no sharers", addr)
+			}
+		case arch.Invalid:
+			if !l.sharers.Empty() {
+				return fmt.Errorf("line %#x: Invalid with sharers", addr)
+			}
+		default:
+			return fmt.Errorf("line %#x: unknown state %d", addr, l.state)
+		}
+		for _, w := range l.waiters {
+			if w.core < 0 || w.core >= m.Plat.NumCores {
+				return fmt.Errorf("line %#x: waiter core %d out of range", addr, w.core)
+			}
+		}
+	}
+	return nil
+}

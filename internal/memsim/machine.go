@@ -1,0 +1,415 @@
+// Package memsim implements a deterministic discrete-event simulator of the
+// many-core machines modelled by internal/arch.
+//
+// Each simulated thread is a goroutine pinned to a simulated core. A single
+// scheduler serialises all memory operations in virtual-time order: the
+// runnable thread with the smallest virtual clock executes its next
+// operation. The result is a sequentially-consistent, perfectly
+// reproducible interleaving whose *timing* follows the platform's
+// cache-coherence model:
+//
+//   - an operation that hits in the issuing core's cache costs the local
+//     access latency and causes no traffic;
+//   - anything else is a coherence transaction: it costs the platform's
+//     Table 2 latency for (operation, line state, distance to the current
+//     holder), and it occupies the line's directory/bus until it completes,
+//     so conflicting transactions on one line serialise — this is the
+//     queueing behaviour that makes contended synchronization collapse on
+//     the multi-socket models;
+//   - spinning is expressed with WaitChange, which parks the thread until
+//     the watched line is written and then charges the re-fetch, exactly
+//     like a polling loop on real hardware that spins on a locally-cached
+//     line for free until the invalidation arrives.
+//
+// The protocol quirks of the four platforms (Opteron's incomplete probe
+// filter and MOESI Owned state, Xeon's inclusive-LLC intra-socket locality,
+// Niagara's uniform latencies, Tilera's home tiles) are applied in ops.go.
+package memsim
+
+import (
+	"fmt"
+	"sort"
+
+	"ssync/internal/arch"
+	"ssync/internal/bits"
+)
+
+// Addr is a simulated physical byte address. Word accessors operate on
+// 8-byte-aligned addresses; cache lines are 64 bytes.
+type Addr uint64
+
+// Line returns the cache-line id of the address.
+func (a Addr) Line() uint64 { return uint64(a) >> 6 }
+
+// word returns the 8-byte-aligned address holding a.
+func (a Addr) word() Addr { return a &^ 7 }
+
+// nodeBits is the shift used to encode the home memory node in an address.
+const nodeShift = 32
+
+// line is the simulator's per-cache-line metadata.
+type line struct {
+	state   arch.State
+	owner   int32 // valid for Modified/Exclusive/Owned
+	sharers bits.Set
+	home    int // home memory node
+
+	// busyUntil is the virtual time until which the line's directory/bus
+	// is occupied by an in-flight coherence transaction.
+	busyUntil uint64
+
+	// After a failed CAS the owner briefly holds off competing requests
+	// (reservedUntil); on real hardware the owner's pipelined retry
+	// completes before queued invalidations are serviced, which is what
+	// makes CAS retry loops livelock-free.
+	reserved      int32
+	reservedUntil uint64
+
+	// waiters are cores parked in WaitChange on this line, each watching
+	// one word for a value change.
+	waiters []waiter
+}
+
+// waiter is one parked spinner: it resumes when the watched word's value
+// differs from old (on channels: when any message arrives).
+type waiter struct {
+	core int
+	word Addr
+	old  uint64
+	any  bool // channel receivers wake on any enqueue
+}
+
+// Counters aggregates event counts over a run, for tests, ablations and
+// reporting.
+type Counters struct {
+	Loads      uint64 // load operations issued
+	Stores     uint64 // store operations issued
+	Atomics    uint64 // atomic operations issued
+	Prefetches uint64 // prefetchw transfers issued
+	LocalHits  uint64 // operations satisfied from the local cache
+	Transfers  uint64 // coherence transactions
+	Broadcasts uint64 // Opteron incomplete-directory broadcasts
+	DirPenalty uint64 // transactions that paid the remote-directory penalty
+	Wakeups    uint64 // WaitChange wake events
+	Stalls     uint64 // transactions delayed by a busy line
+	StallTime  uint64 // total cycles spent waiting on busy lines
+}
+
+// Options toggles model features, for ablation studies.
+type Options struct {
+	// NoContention disables per-line transaction serialisation (infinite
+	// directory bandwidth). Ablation for the contention model.
+	NoContention bool
+	// CompleteDirectory pretends the Opteron probe filter tracks sharers
+	// precisely: stores to Shared/Owned lines cost like stores to Modified
+	// ones and the remote-directory penalty disappears.
+	CompleteDirectory bool
+	// CostJitter perturbs every coherence-transaction cost by a
+	// deterministic pseudo-random factor in [1-j, 1+j]. Real arbitration,
+	// snoop-response and DRAM timing variance prevents the perfectly
+	// periodic service orders a cycle-exact queue would fall into; the
+	// throughput benchmarks enable it (0.15), the latency tables do not.
+	CostJitter float64
+}
+
+// Machine is one simulated many-core machine. It is not safe for use by
+// multiple host goroutines except through Spawn/Run.
+type Machine struct {
+	Plat *arch.Platform
+	Opt  Options
+
+	lines map[uint64]*line
+	words map[Addr]uint64
+
+	cores   []*coreRT
+	events  chan event
+	pending []wake // wakeups produced by the op currently executing
+
+	allocNext []Addr // per-node bump allocator (line-aligned)
+
+	deadline  uint64
+	maxEvents uint64
+	nEvents   uint64
+	jitterSt  uint64 // xorshift state for CostJitter
+
+	Stats Counters
+}
+
+type coreRT struct {
+	id      int
+	clock   uint64
+	grant   chan struct{}
+	thread  *Thread
+	started bool
+	ops     uint64
+}
+
+type eventKind uint8
+
+const (
+	evReady eventKind = iota
+	evPark
+	evDone
+)
+
+type event struct {
+	core int
+	kind eventKind
+	// evPark payload: the line parked on, the watched word and the value
+	// it must move away from. any marks channel receivers.
+	line uint64
+	word Addr
+	old  uint64
+	any  bool
+}
+
+type wake struct {
+	core int
+	at   uint64
+}
+
+// New creates a machine for the given platform model.
+func New(p *arch.Platform) *Machine {
+	m := &Machine{
+		Plat:      p,
+		lines:     make(map[uint64]*line),
+		words:     make(map[Addr]uint64),
+		cores:     make([]*coreRT, p.NumCores),
+		events:    make(chan event, p.NumCores),
+		allocNext: make([]Addr, p.NumNodes),
+		deadline:  ^uint64(0),
+		maxEvents: 1 << 33,
+		jitterSt:  0x243f6a8885a308d3,
+	}
+	for i := range m.cores {
+		m.cores[i] = &coreRT{id: i, grant: make(chan struct{})}
+	}
+	for n := range m.allocNext {
+		m.allocNext[n] = Addr(uint64(n+1) << nodeShift)
+	}
+	return m
+}
+
+// Alloc reserves nWords contiguous 8-byte words on the given memory node
+// and returns the address of the first. Allocations are line-aligned, so a
+// request of up to 8 words occupies exactly one cache line.
+func (m *Machine) Alloc(node, nWords int) Addr {
+	if node < 0 || node >= len(m.allocNext) {
+		panic(fmt.Sprintf("memsim: Alloc on invalid node %d (platform %s has %d)", node, m.Plat.Name, len(m.allocNext)))
+	}
+	if nWords <= 0 {
+		nWords = 1
+	}
+	a := m.allocNext[node]
+	nLines := (nWords*8 + 63) / 64
+	m.allocNext[node] = a + Addr(nLines*64)
+	return a
+}
+
+// AllocLine reserves one full cache line on the node.
+func (m *Machine) AllocLine(node int) Addr { return m.Alloc(node, 8) }
+
+// homeOf decodes the home node from an address.
+func (m *Machine) homeOf(a Addr) int {
+	n := int(uint64(a)>>nodeShift) - 1
+	if n < 0 || n >= m.Plat.NumNodes {
+		panic(fmt.Sprintf("memsim: address %#x not produced by Alloc", uint64(a)))
+	}
+	return n
+}
+
+// getLine returns (creating if needed) the metadata of the line holding a.
+func (m *Machine) getLine(a Addr) *line {
+	id := a.Line()
+	l := m.lines[id]
+	if l == nil {
+		l = &line{state: arch.Invalid, owner: -1, home: m.homeOf(a)}
+		m.lines[id] = l
+	}
+	return l
+}
+
+// Poke initialises a word without simulating an access (setup only; the
+// line stays uncached/Invalid).
+func (m *Machine) Poke(a Addr, v uint64) { m.words[a.word()] = v }
+
+// Peek reads a word without simulating an access (inspection only).
+func (m *Machine) Peek(a Addr) uint64 { return m.words[a.word()] }
+
+// LineState returns the current coherence state of the line holding a and
+// the id of its owner core (-1 when the state has no owner).
+func (m *Machine) LineState(a Addr) (arch.State, int) {
+	l := m.lines[a.Line()]
+	if l == nil {
+		return arch.Invalid, -1
+	}
+	return l.state, int(l.owner)
+}
+
+// SetDeadline makes Thread.Done report true once a thread's virtual clock
+// passes the given cycle count. Threads poll Done in their loops; the
+// machine never preempts them.
+func (m *Machine) SetDeadline(cycles uint64) { m.deadline = cycles }
+
+// Deadline returns the configured deadline (max uint64 when unset).
+func (m *Machine) Deadline() uint64 { return m.deadline }
+
+// Spawn registers fn to run as a thread pinned to the given core. It
+// panics if the core is out of range or already occupied. All Spawn calls
+// must precede Run.
+func (m *Machine) Spawn(core int, fn func(*Thread)) *Thread {
+	if core < 0 || core >= len(m.cores) {
+		panic(fmt.Sprintf("memsim: Spawn on invalid core %d (platform %s has %d)", core, m.Plat.Name, len(m.cores)))
+	}
+	c := m.cores[core]
+	if c.thread != nil {
+		panic(fmt.Sprintf("memsim: core %d already has a thread", core))
+	}
+	t := &Thread{m: m, c: c, fn: fn}
+	c.thread = t
+	return t
+}
+
+// Run executes all spawned threads to completion and returns the largest
+// virtual clock reached (the makespan in cycles). Run may be called once.
+func (m *Machine) Run() uint64 {
+	const (
+		stRunning = iota
+		stReady
+		stParked
+		stDone
+	)
+	active := 0
+	state := make([]int, len(m.cores))
+	for _, c := range m.cores {
+		if c.thread == nil {
+			state[c.id] = stDone
+			continue
+		}
+		active++
+		c.started = true
+		go c.thread.run()
+	}
+	if active == 0 {
+		return 0
+	}
+	nDone, nBlocked := 0, 0 // blocked = ready or parked
+	for nDone < active {
+		// Absorb events until every live core is quiescent.
+		for nBlocked+nDone < active {
+			ev := <-m.events
+			m.nEvents++
+			if m.nEvents > m.maxEvents {
+				panic("memsim: event budget exceeded (livelock in simulated program?)")
+			}
+			switch ev.kind {
+			case evReady:
+				state[ev.core] = stReady
+				nBlocked++
+			case evPark:
+				state[ev.core] = stParked
+				l := m.lines[ev.line]
+				l.waiters = append(l.waiters, waiter{core: ev.core, word: ev.word, old: ev.old, any: ev.any})
+				nBlocked++
+			case evDone:
+				state[ev.core] = stDone
+				nDone++
+			}
+		}
+		// Deliver wakeups generated by the last operation.
+		for _, w := range m.pending {
+			if state[w.core] != stParked {
+				continue // already woken via another line
+			}
+			c := m.cores[w.core]
+			if c.clock < w.at {
+				c.clock = w.at
+			}
+			state[w.core] = stReady
+			m.Stats.Wakeups++
+		}
+		m.pending = m.pending[:0]
+		if nDone == active {
+			break
+		}
+		// Grant the ready core with the smallest clock (lowest id wins
+		// ties, for determinism).
+		best := -1
+		for id, st := range state {
+			if st != stReady {
+				continue
+			}
+			if best == -1 || m.cores[id].clock < m.cores[best].clock {
+				best = id
+			}
+		}
+		if best == -1 {
+			m.panicDeadlock(state, stParked)
+		}
+		state[best] = stRunning
+		nBlocked--
+		m.cores[best].grant <- struct{}{}
+		// The granted thread performs exactly one operation and then sends
+		// its next event; loop around to receive it.
+	}
+	return m.MaxClock()
+}
+
+func (m *Machine) panicDeadlock(state []int, stParked int) {
+	var parked []int
+	for id, st := range state {
+		if st == stParked {
+			parked = append(parked, id)
+		}
+	}
+	sort.Ints(parked)
+	detail := ""
+	for id, l := range m.lines {
+		if len(l.waiters) > 0 {
+			detail += fmt.Sprintf("\n  line %#x (state %v owner %d): waiters %v", id<<6, l.state, l.owner, l.waiters)
+		}
+	}
+	panic(fmt.Sprintf("memsim: deadlock — no runnable thread, cores %v parked in WaitChange with no future writer%s", parked, detail))
+}
+
+// MaxClock returns the largest per-core virtual clock.
+func (m *Machine) MaxClock() uint64 {
+	var max uint64
+	for _, c := range m.cores {
+		if c.started && c.clock > max {
+			max = c.clock
+		}
+	}
+	return max
+}
+
+// Ops returns the number of memory operations issued by a core.
+func (m *Machine) Ops(core int) uint64 { return m.cores[core].ops }
+
+// wakeWord schedules the waiters parked on l whose watched word now holds
+// a value different from the one they went to sleep on. Others stay
+// parked — on the modelled hardware their re-fetch would read the same
+// value and they would re-park immediately.
+func (m *Machine) wakeWord(l *line, word Addr, at uint64) {
+	if len(l.waiters) == 0 {
+		return
+	}
+	kept := l.waiters[:0]
+	for _, w := range l.waiters {
+		if w.word == word.word() && m.words[w.word] != w.old {
+			m.pending = append(m.pending, wake{core: w.core, at: at})
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.waiters = kept
+}
+
+// wakeAll schedules every waiter parked on l (used by channels, whose
+// receivers wake on any enqueue).
+func (m *Machine) wakeAll(l *line, at uint64) {
+	for _, w := range l.waiters {
+		m.pending = append(m.pending, wake{core: w.core, at: at})
+	}
+	l.waiters = l.waiters[:0]
+}

@@ -1,0 +1,352 @@
+package memsim
+
+import (
+	"testing"
+
+	"ssync/internal/arch"
+)
+
+func TestSingleThreadLoadStore(t *testing.T) {
+	m := New(arch.Opteron())
+	a := m.AllocLine(0)
+	m.Poke(a, 7)
+	var got uint64
+	m.Spawn(0, func(th *Thread) {
+		got = th.Load(a) // Invalid → RAM fetch
+		th.Store(a, 9)   // now Exclusive locally → cheap
+		got += th.Load(a)
+	})
+	cycles := m.Run()
+	if got != 7+9 {
+		t.Fatalf("values: got %d", got)
+	}
+	p := m.Plat
+	want := p.Lat(arch.Load, arch.Invalid, 0) + p.StoreLocal + p.L1
+	if cycles != want {
+		t.Fatalf("cycles = %d, want %d", cycles, want)
+	}
+}
+
+func TestRemoteLoadCost(t *testing.T) {
+	// Core 0 dirties a line; core 12 (one hop away on the Opteron) loads it.
+	p := arch.Opteron()
+	m := New(p)
+	a := m.AllocLine(0)
+	var c12cost uint64
+	done := m.AllocLine(0)
+	m.Spawn(0, func(th *Thread) {
+		th.Store(a, 1) // I → M at core 0
+		th.Store(done, 1)
+	})
+	m.Spawn(12, func(th *Thread) {
+		th.WaitUntil(done, func(v uint64) bool { return v == 1 })
+		start := th.Now()
+		th.Load(a)
+		c12cost = th.Now() - start
+	})
+	m.Run()
+	class := p.DistClass(12, 0)
+	want := p.Lat(arch.Load, arch.Modified, class)
+	if c12cost != want {
+		t.Fatalf("remote load = %d cycles, want %d (class %d)", c12cost, want, class)
+	}
+	// MOESI: after the remote load the line is Owned by core 0.
+	st, owner := m.LineState(a)
+	if st != arch.Owned || owner != 0 {
+		t.Fatalf("line state = %v/%d, want Owned/0", st, owner)
+	}
+}
+
+func TestXeonMESIFNoOwned(t *testing.T) {
+	p := arch.Xeon()
+	m := New(p)
+	a := m.AllocLine(0)
+	done := m.AllocLine(0)
+	m.Spawn(0, func(th *Thread) {
+		th.Store(a, 1)
+		th.Store(done, 1)
+	})
+	m.Spawn(1, func(th *Thread) {
+		th.WaitUntil(done, func(v uint64) bool { return v == 1 })
+		th.Load(a)
+	})
+	m.Run()
+	st, _ := m.LineState(a)
+	if st != arch.Shared {
+		t.Fatalf("Xeon M line after remote load = %v, want Shared", st)
+	}
+}
+
+func TestStoreOnSharedBroadcastsOnOpteron(t *testing.T) {
+	// Paper §5.2: "even if all sharers reside on the same node, a store
+	// needs to pay the overhead of a broadcast ... from around 83 to 244".
+	p := arch.Opteron()
+	m := New(p)
+	a := m.AllocLine(0)
+	phase := m.AllocLine(0)
+	var storeCost uint64
+	m.Spawn(0, func(th *Thread) {
+		th.Store(a, 1)
+		th.Store(phase, 1)
+		th.WaitUntil(phase, func(v uint64) bool { return v == 3 })
+		start := th.Now()
+		th.Store(a, 2) // line now Owned+Shared within the same die
+		storeCost = th.Now() - start
+	})
+	m.Spawn(1, func(th *Thread) {
+		th.WaitUntil(phase, func(v uint64) bool { return v == 1 })
+		th.Load(a)
+		th.Store(phase, 2)
+	})
+	m.Spawn(2, func(th *Thread) {
+		th.WaitUntil(phase, func(v uint64) bool { return v == 2 })
+		th.Load(a)
+		th.Store(phase, 3)
+	})
+	m.Run()
+	if storeCost < 200 {
+		t.Fatalf("Opteron store on shared-within-die = %d cycles, want ≥200 (broadcast)", storeCost)
+	}
+	if m.Stats.Broadcasts == 0 {
+		t.Fatal("no broadcast recorded")
+	}
+
+	// Ablation: with a complete directory the same store is cheap.
+	m2 := New(p)
+	m2.Opt.CompleteDirectory = true
+	a2 := m2.AllocLine(0)
+	ph2 := m2.AllocLine(0)
+	var cost2 uint64
+	m2.Spawn(0, func(th *Thread) {
+		th.Store(a2, 1)
+		th.Store(ph2, 1)
+		th.WaitUntil(ph2, func(v uint64) bool { return v == 2 })
+		start := th.Now()
+		th.Store(a2, 2)
+		cost2 = th.Now() - start
+	})
+	m2.Spawn(1, func(th *Thread) {
+		th.WaitUntil(ph2, func(v uint64) bool { return v == 1 })
+		th.Load(a2)
+		th.Store(ph2, 2)
+	})
+	m2.Run()
+	if cost2 >= storeCost {
+		t.Fatalf("complete-directory ablation: store %d, want cheaper than %d", cost2, storeCost)
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	m := New(arch.Niagara())
+	a := m.AllocLine(0)
+	var tas1, tas2, old, swapped uint64
+	var casOK, casFail bool
+	m.Spawn(0, func(th *Thread) {
+		tas1 = th.TAS(a)
+		tas2 = th.TAS(a)
+		th.Store(a, 5)
+		casOK = th.CAS(a, 5, 6)
+		casFail = th.CAS(a, 5, 7)
+		old = th.FAI(a)
+		swapped = th.Swap(a, 100)
+	})
+	m.Run()
+	if tas1 != 0 || tas2 != 1 {
+		t.Errorf("TAS sequence: %d then %d, want 0 then 1", tas1, tas2)
+	}
+	if !casOK || casFail {
+		t.Errorf("CAS: ok=%v fail=%v", casOK, casFail)
+	}
+	if old != 6 {
+		t.Errorf("FAI returned %d, want 6", old)
+	}
+	if swapped != 7 {
+		t.Errorf("Swap returned %d, want 7", swapped)
+	}
+	if m.Peek(a) != 100 {
+		t.Errorf("final value %d, want 100", m.Peek(a))
+	}
+}
+
+func TestFAACost(t *testing.T) {
+	p := arch.Tilera()
+	m := New(p)
+	a := m.AllocLine(0)
+	m.Spawn(0, func(th *Thread) {
+		th.FAA(a, 41)
+		th.FAA(a, 1)
+	})
+	m.Run()
+	if m.Peek(a) != 42 {
+		t.Fatalf("FAA result = %d, want 42", m.Peek(a))
+	}
+}
+
+func TestWaitChangeWakesOnStore(t *testing.T) {
+	m := New(arch.Xeon())
+	a := m.AllocLine(0)
+	var seen uint64
+	m.Spawn(0, func(th *Thread) {
+		th.Pause(10000)
+		th.Store(a, 42)
+	})
+	m.Spawn(10, func(th *Thread) {
+		th.Load(a) // cache it
+		seen = th.WaitChange(a, 0)
+	})
+	cycles := m.Run()
+	if seen != 42 {
+		t.Fatalf("WaitChange returned %d, want 42", seen)
+	}
+	if cycles < 10000 {
+		t.Fatalf("waiter must not finish before the writer (cycles=%d)", cycles)
+	}
+	if m.Stats.Wakeups == 0 {
+		t.Fatal("no wakeup recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		m := New(arch.Opteron())
+		a := m.AllocLine(0)
+		for i := 0; i < 8; i++ {
+			m.Spawn(i*6, func(th *Thread) {
+				for k := 0; k < 200; k++ {
+					th.FAI(a)
+					th.Pause(uint64(10 + th.Core()))
+				}
+			})
+		}
+		total := m.Run()
+		return total, m.Peek(a)
+	}
+	c1, v1 := run()
+	c2, v2 := run()
+	if c1 != c2 || v1 != v2 {
+		t.Fatalf("simulation not deterministic: (%d,%d) vs (%d,%d)", c1, v1, c2, v2)
+	}
+	if v1 != 8*200 {
+		t.Fatalf("FAI lost updates: %d, want %d", v1, 8*200)
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	// Two cores hammering one line must take longer than the same work with
+	// the contention model disabled.
+	elapsed := func(noContention bool) uint64 {
+		m := New(arch.Opteron())
+		m.Opt.NoContention = noContention
+		a := m.AllocLine(0)
+		for i := 0; i < 2; i++ {
+			m.Spawn(i, func(th *Thread) {
+				for k := 0; k < 500; k++ {
+					th.FAI(a)
+				}
+			})
+		}
+		return m.Run()
+	}
+	with, without := elapsed(false), elapsed(true)
+	if with <= without {
+		t.Fatalf("contention model has no effect: with=%d without=%d", with, without)
+	}
+}
+
+func TestSpawnAndAllocValidation(t *testing.T) {
+	m := New(arch.Tilera())
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad core", func() { m.Spawn(99, func(*Thread) {}) })
+	mustPanic("bad node", func() { m.Alloc(5, 1) })
+	m.Spawn(0, func(*Thread) {})
+	mustPanic("double spawn", func() { m.Spawn(0, func(*Thread) {}) })
+}
+
+func TestDeadline(t *testing.T) {
+	m := New(arch.Niagara())
+	m.SetDeadline(5000)
+	a := m.AllocLine(0)
+	var iters int
+	m.Spawn(0, func(th *Thread) {
+		for !th.Done() {
+			th.FAI(a)
+		}
+		iters = int(m.Peek(a))
+	})
+	m.Run()
+	if iters == 0 {
+		t.Fatal("thread did no work before the deadline")
+	}
+	if iters > 5000 {
+		t.Fatalf("deadline ignored: %d iterations", iters)
+	}
+}
+
+func TestPrefetchwPinsModified(t *testing.T) {
+	p := arch.Opteron()
+	m := New(p)
+	a := m.AllocLine(0)
+	m.Spawn(0, func(th *Thread) {
+		th.Prefetchw(a)
+		th.Store(a, 1) // must now be a local store
+	})
+	m.Run()
+	st, owner := m.LineState(a)
+	if st != arch.Modified || owner != 0 {
+		t.Fatalf("after prefetchw+store: %v/%d, want Modified/0", st, owner)
+	}
+	// The store after prefetchw is local: total = prefetch txn + StoreLocal.
+	if m.Stats.LocalHits == 0 {
+		t.Fatal("store after prefetchw should hit locally")
+	}
+}
+
+func TestAllocSeparatesLines(t *testing.T) {
+	m := New(arch.Opteron())
+	a := m.Alloc(0, 1)
+	b := m.Alloc(0, 1)
+	if a.Line() == b.Line() {
+		t.Fatal("separate Allocs must not share a cache line")
+	}
+	c := m.Alloc(3, 8)
+	if m.homeOf(c) != 3 {
+		t.Fatalf("home node = %d, want 3", m.homeOf(c))
+	}
+}
+
+func TestXeonInclusiveLLCLocality(t *testing.T) {
+	// A load of a Shared line with an in-socket copy costs same-die cycles
+	// even though another sharer is cross-socket.
+	p := arch.Xeon()
+	m := New(p)
+	a := m.AllocLine(0)
+	phase := m.AllocLine(0)
+	var cost uint64
+	m.Spawn(0, func(th *Thread) { // socket 0: creates + shares
+		th.Store(a, 1)
+		th.Store(phase, 1)
+	})
+	m.Spawn(70, func(th *Thread) { // socket 7: takes a copy
+		th.WaitUntil(phase, func(v uint64) bool { return v == 1 })
+		th.Load(a)
+		th.Store(phase, 2)
+	})
+	m.Spawn(1, func(th *Thread) { // socket 0 again: in-socket load
+		th.WaitUntil(phase, func(v uint64) bool { return v == 2 })
+		start := th.Now()
+		th.Load(a)
+		cost = th.Now() - start
+	})
+	m.Run()
+	want := p.Lat(arch.Load, arch.Shared, arch.XeonSameDie)
+	if cost != want {
+		t.Fatalf("inclusive-LLC load = %d, want %d", cost, want)
+	}
+}

@@ -1,0 +1,408 @@
+package memsim
+
+import "ssync/internal/arch"
+
+// Aliases keeping thread.go free of arch imports at call sites.
+const (
+	casOp  = arch.CAS
+	faiOp  = arch.FAI
+	tasOp  = arch.TAS
+	swapOp = arch.SWAP
+)
+
+// This file implements the semantics and cost model of the simulated
+// memory operations. Every function here runs on the thread goroutine that
+// currently holds the scheduler grant, so it has exclusive access to the
+// machine state.
+
+// hasCopy reports whether core c holds a valid copy of the line.
+func (l *line) hasCopy(c int) bool {
+	switch l.state {
+	case arch.Modified, arch.Exclusive:
+		return int(l.owner) == c
+	case arch.Owned:
+		return int(l.owner) == c || l.sharers.Has(c)
+	case arch.Shared:
+		return l.sharers.Has(c)
+	}
+	return false
+}
+
+// copies calls f for every core that holds a valid copy of the line.
+func (l *line) copies(f func(core int)) {
+	switch l.state {
+	case arch.Modified, arch.Exclusive:
+		f(int(l.owner))
+	case arch.Owned:
+		f(int(l.owner))
+		l.sharers.ForEach(f)
+	case arch.Shared:
+		l.sharers.ForEach(f)
+	}
+}
+
+// nCopies returns the number of cores holding a valid copy.
+func (l *line) nCopies() int {
+	n := 0
+	l.copies(func(int) { n++ })
+	return n
+}
+
+// holderClass returns the distance class used to price a transaction by
+// core c on line l, together with the "holder" core the paper's
+// methodology would consider (-1 when the line comes from memory).
+func (m *Machine) holderClass(c int, l *line, id uint64) (class int, holder int) {
+	p := m.Plat
+	if l.state == arch.Invalid {
+		return p.DistClassToNode(c, l.home), -1
+	}
+	if p.Name == "Tilera" {
+		// Distributed LLC: every miss is serviced via the line's home tile.
+		home := p.HomeTile(id)
+		return p.Hops(c, home), home
+	}
+	switch l.state {
+	case arch.Modified, arch.Exclusive, arch.Owned:
+		return p.DistClass(c, int(l.owner)), int(l.owner)
+	default: // Shared: nearest copy services the request
+		best, bestCore := -1, -1
+		l.sharers.ForEach(func(s int) {
+			d := p.DistClass(c, s)
+			if best == -1 || d < best {
+				best, bestCore = d, s
+			}
+		})
+		if best == -1 {
+			return p.DistClassToNode(c, l.home), -1
+		}
+		return best, bestCore
+	}
+}
+
+// invalClass returns the distance class pricing an invalidation: the
+// farthest valid copy from the writer.
+func (m *Machine) invalClass(c int, l *line, id uint64) int {
+	p := m.Plat
+	if p.Name == "Tilera" {
+		return p.Hops(c, p.HomeTile(id))
+	}
+	worst := 0
+	l.copies(func(s int) {
+		if s == c {
+			return
+		}
+		if d := p.DistClass(c, s); d > worst {
+			worst = d
+		}
+	})
+	return worst
+}
+
+// intraSocket reports whether every valid copy of the line lives on core
+// c's socket (Xeon inclusive-LLC fast path).
+func (m *Machine) intraSocket(c int, l *line) bool {
+	p := m.Plat
+	node := p.NodeOf(c)
+	ok := true
+	l.copies(func(s int) {
+		if p.NodeOf(s) != node {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// dirPenalty returns the Opteron incomplete-directory penalty: when the
+// line's home node is remote to both the requester and the holder, every
+// transaction must still consult the remote directory, costing an extra
+// DirHopPenalty per hop from the requester to the home node (paper §5.2:
+// "in the worst case ... the latencies are 312 cycles").
+func (m *Machine) dirPenalty(c, holder int, l *line) uint64 {
+	p := m.Plat
+	if !p.IncompleteDirectory || m.Opt.CompleteDirectory || l.state == arch.Invalid {
+		return 0
+	}
+	if p.NodeOf(c) == l.home {
+		return 0
+	}
+	if holder >= 0 && p.NodeOf(holder) == l.home {
+		return 0
+	}
+	m.Stats.DirPenalty++
+	return p.DirHopPenalty * uint64(p.HopsToNode(c, l.home))
+}
+
+// begin starts a coherence transaction for the issuing core at the line,
+// applying the serialisation model, and returns the start time.
+func (m *Machine) begin(rt *coreRT, l *line) uint64 {
+	start := rt.clock
+	if !m.Opt.NoContention {
+		floor := l.busyUntil
+		if l.reservedUntil > floor && l.reserved != int32(rt.id) {
+			floor = l.reservedUntil
+		}
+		if floor > start {
+			m.Stats.Stalls++
+			m.Stats.StallTime += floor - start
+			start = floor
+		}
+	}
+	m.Stats.Transfers++
+	return start
+}
+
+// jitter scales a transaction cost by the configured CostJitter using a
+// deterministic xorshift stream, so runs remain exactly reproducible.
+func (m *Machine) jitter(cost uint64) uint64 {
+	j := m.Opt.CostJitter
+	if j <= 0 {
+		return cost
+	}
+	x := m.jitterSt
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.jitterSt = x
+	u := float64(x*0x2545f4914f6cdd1d>>11) / (1 << 53) // [0,1)
+	return uint64(float64(cost) * (1 - j + 2*j*u))
+}
+
+// finish completes a transaction: advances the core clock and occupies the
+// line until the end time.
+func (m *Machine) finish(rt *coreRT, l *line, start, cost uint64) uint64 {
+	end := start + cost
+	rt.clock = end
+	if !m.Opt.NoContention {
+		l.busyUntil = end
+	}
+	return end
+}
+
+// doLoad performs a load by core c and returns the word value.
+func (m *Machine) doLoad(rt *coreRT, a Addr) uint64 {
+	m.Stats.Loads++
+	rt.ops++
+	l := m.getLine(a)
+	c := rt.id
+	if l.hasCopy(c) {
+		m.Stats.LocalHits++
+		rt.clock += m.Plat.L1
+		return m.words[a.word()]
+	}
+	start := m.begin(rt, l)
+	class, holder := m.holderClass(c, l, a.Line())
+	p := m.Plat
+	st := l.state
+	if p.InclusiveLLC && st != arch.Invalid && m.intraSocket(c, l) {
+		// The inclusive LLC services the load within the socket.
+		class = 0
+	}
+	cost := m.jitter(p.Lat(arch.Load, st, class) + m.dirPenalty(c, holder, l))
+	// A load that does not demote an owner (Shared, or Owned with extra
+	// sharers) occupies the line's serialisation point for the platform's
+	// read occupancy rather than the full latency: read sharing is nearly
+	// concurrent on the Xeon/Niagara/Tilera, while the Opteron's probe
+	// filter serialises every probe at the home directory.
+	if st == arch.Shared || st == arch.Owned {
+		end := start + cost
+		rt.clock = end
+		if !m.Opt.NoContention && l.busyUntil < start+p.ReadOccupancy {
+			l.busyUntil = start + p.ReadOccupancy
+		}
+	} else {
+		m.finish(rt, l, start, cost)
+	}
+
+	// State transition.
+	switch st {
+	case arch.Invalid:
+		l.state = arch.Exclusive
+		l.owner = int32(c)
+	case arch.Modified:
+		if p.IncompleteDirectory {
+			// MOESI: the dirty owner keeps the line in Owned state.
+			l.state = arch.Owned
+			l.sharers.Clear()
+			l.sharers.Add(c)
+		} else {
+			l.state = arch.Shared
+			l.sharers.Clear()
+			l.sharers.Add(int(l.owner))
+			l.sharers.Add(c)
+			l.owner = -1
+		}
+	case arch.Exclusive:
+		l.state = arch.Shared
+		l.sharers.Clear()
+		l.sharers.Add(int(l.owner))
+		l.sharers.Add(c)
+		l.owner = -1
+	case arch.Owned, arch.Shared:
+		l.sharers.Add(c)
+	}
+	return m.words[a.word()]
+}
+
+// doWrite prices and applies a write-intent transaction (store, atomic or
+// prefetchw) and returns its completion time. op selects the latency row.
+// hint marks a prefetchw: the requester pays the full transfer latency but
+// the directory only forwards the directed request and moves on, so the
+// line is occupied for the read occupancy rather than the full transfer —
+// this is what makes the §5.3 prefetchw spinning cheap where a broadcast
+// store is not.
+func (m *Machine) doWrite(rt *coreRT, a Addr, op arch.Op, hint bool) uint64 {
+	l := m.getLine(a)
+	c := rt.id
+	p := m.Plat
+
+	local := (l.state == arch.Modified || l.state == arch.Exclusive) && int(l.owner) == c
+	if local {
+		m.Stats.LocalHits++
+		var cost uint64
+		if op.IsAtomic() {
+			cost = p.AtomicLocal
+		} else {
+			cost = p.StoreLocal
+		}
+		rt.clock += cost
+		l.state = arch.Modified
+		return rt.clock
+	}
+
+	start := m.begin(rt, l)
+	st := l.state
+	shared := st == arch.Shared || st == arch.Owned
+	var class int
+	var holder int
+	if shared {
+		class = m.invalClass(c, l, a.Line())
+		holder = int(l.owner)
+		if st == arch.Shared {
+			holder = l.sharers.Any()
+		}
+	} else {
+		class, holder = m.holderClass(c, l, a.Line())
+	}
+	if p.InclusiveLLC && st != arch.Invalid && m.intraSocket(c, l) {
+		class = 0
+	}
+
+	effState := st
+	broadcast := false
+	if shared && p.IncompleteDirectory {
+		if m.Opt.CompleteDirectory {
+			// Ablation: a precise directory invalidates point-to-point.
+			effState = arch.Modified
+		} else {
+			m.Stats.Broadcasts++
+			broadcast = true
+		}
+	}
+	cost := p.Lat(op, effState, class)
+	if broadcast && p.NodeOf(c) != l.home {
+		// A broadcast is initiated at the home directory: a writer off the
+		// home node consults it remotely no matter where the sharers are.
+		m.Stats.DirPenalty++
+		cost += p.DirHopPenalty * uint64(p.HopsToNode(c, l.home))
+	}
+	if shared && p.PerSharerInval > 0 {
+		n := l.nCopies()
+		if l.hasCopy(c) {
+			n--
+		}
+		if n > 1 {
+			cost += uint64(p.PerSharerInval * float64(n-1))
+		}
+	}
+	if !broadcast {
+		cost += m.dirPenalty(c, holder, l)
+	}
+	cost = m.jitter(cost)
+	var end uint64
+	if hint && !broadcast {
+		end = start + cost
+		rt.clock = end
+		if !m.Opt.NoContention && l.busyUntil < start+p.ReadOccupancy {
+			l.busyUntil = start + p.ReadOccupancy
+		}
+	} else {
+		end = m.finish(rt, l, start, cost)
+	}
+
+	l.state = arch.Modified
+	l.owner = int32(c)
+	l.sharers.Clear()
+	return end
+}
+
+// doStore performs a store of v by the core.
+func (m *Machine) doStore(rt *coreRT, a Addr, v uint64) {
+	m.Stats.Stores++
+	rt.ops++
+	end := m.doWrite(rt, a, arch.Store, false)
+	m.words[a.word()] = v
+	m.wakeWord(m.getLine(a), a, end)
+}
+
+// doPrefetchw performs a prefetch-with-write-intent: the line moves to
+// Modified in the issuing core without changing the value (paper §5.3).
+//
+// Prefetch instructions are non-blocking on the modelled hardware: the
+// instruction retires immediately and the RFO completes in the background
+// (that is the entire point of prefetching — hiding the transfer behind
+// other work). The issuer therefore pays only the issue cost; the
+// directory is occupied for the background transfer, and the ownership
+// transition is applied eagerly. Parked spinners are not woken — the value
+// has not changed.
+func (m *Machine) doPrefetchw(rt *coreRT, a Addr) {
+	l := m.getLine(a)
+	c := rt.id
+	p := m.Plat
+	if (l.state == arch.Modified || l.state == arch.Exclusive) && int(l.owner) == c {
+		rt.clock += p.L1 // already owned: a no-op hint
+		l.state = arch.Modified
+		return
+	}
+	m.Stats.Prefetches++
+	rt.ops++
+	m.Stats.Transfers++
+	rt.clock += p.L1 // issue cost only: the transfer is asynchronous
+	start := rt.clock
+	if !m.Opt.NoContention {
+		if l.busyUntil > start {
+			start = l.busyUntil
+		}
+		occ := p.ReadOccupancy // directed forward by the directory
+		if (l.state == arch.Shared || l.state == arch.Owned) && p.IncompleteDirectory && !m.Opt.CompleteDirectory {
+			// Invalidating an unknown sharer set is still a broadcast.
+			occ = p.Lat(arch.Store, arch.Shared, m.invalClass(c, l, a.Line()))
+			m.Stats.Broadcasts++
+		}
+		l.busyUntil = start + occ
+	}
+	l.state = arch.Modified
+	l.owner = int32(c)
+	l.sharers.Clear()
+}
+
+// doAtomic performs an atomic read-modify-write. mut receives the old
+// value and returns the new one along with whether it must be written
+// back; the line is acquired exclusively either way (a failed CAS still
+// invalidates other copies on every platform modelled).
+func (m *Machine) doAtomic(rt *coreRT, a Addr, op arch.Op, mut func(old uint64) (uint64, bool)) uint64 {
+	m.Stats.Atomics++
+	rt.ops++
+	end := m.doWrite(rt, a, op, false)
+	w := a.word()
+	l := m.getLine(a)
+	old := m.words[w]
+	if v, write := mut(old); write {
+		m.words[w] = v
+		m.wakeWord(l, a, end)
+	} else {
+		// Failed CAS: the owner's immediate retry beats queued requests.
+		l.reserved = int32(rt.id)
+		l.reservedUntil = end + 2*m.Plat.AtomicLocal + m.Plat.L1
+	}
+	return old
+}

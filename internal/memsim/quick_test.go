@@ -1,0 +1,153 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/arch"
+	"ssync/internal/xrand"
+)
+
+// Property: a random single-threaded op sequence observes exactly the
+// values a reference map would (the simulator's memory is coherent), and
+// the line metadata invariants hold afterwards.
+func TestQuickSequentialCoherence(t *testing.T) {
+	platforms := arch.All()
+	f := func(seed uint64, opsRaw []uint8) bool {
+		p := platforms[int(seed%uint64(len(platforms)))]
+		m := New(p)
+		rng := xrand.New(seed | 1)
+		nAddrs := 8
+		addrs := make([]Addr, nAddrs)
+		for i := range addrs {
+			addrs[i] = m.AllocLine(int(rng.Uint64() % uint64(p.NumNodes)))
+		}
+		ref := map[Addr]uint64{}
+		ok := true
+		m.Spawn(0, func(th *Thread) {
+			for _, op := range opsRaw {
+				a := addrs[int(op)%nAddrs]
+				switch (op / 8) % 6 {
+				case 0:
+					if th.Load(a) != ref[a] {
+						ok = false
+					}
+				case 1:
+					v := rng.Uint64()
+					th.Store(a, v)
+					ref[a] = v
+				case 2:
+					old := th.FAI(a)
+					if old != ref[a] {
+						ok = false
+					}
+					ref[a]++
+				case 3:
+					old := th.TAS(a)
+					if old != ref[a] {
+						ok = false
+					}
+					ref[a] = 1
+				case 4:
+					v := rng.Uint64()
+					if th.Swap(a, v) != ref[a] {
+						ok = false
+					}
+					ref[a] = v
+				case 5:
+					exp := ref[a]
+					if !th.CAS(a, exp, exp+3) {
+						ok = false
+					}
+					ref[a] = exp + 3
+				}
+			}
+		})
+		m.Run()
+		if err := m.CheckInvariants(); err != nil {
+			t.Logf("invariant: %v", err)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with k threads doing only FAI on shared lines, the final
+// values sum to the operation count (atomicity under any interleaving)
+// and invariants hold.
+func TestQuickConcurrentFAI(t *testing.T) {
+	f := func(seed uint64, nRaw, opsRaw uint8) bool {
+		p := arch.All()[int(seed%4)]
+		n := 2 + int(nRaw)%6
+		perThread := 20 + int(opsRaw)%60
+		m := New(p)
+		lines := []Addr{m.AllocLine(0), m.AllocLine(0), m.AllocLine(0)}
+		cores := p.PlaceThreads(n)
+		for ti, c := range cores {
+			rng := xrand.New(seed + uint64(ti)*977)
+			m.Spawn(c, func(th *Thread) {
+				for i := 0; i < perThread; i++ {
+					th.FAI(lines[rng.Intn(len(lines))])
+				}
+			})
+		}
+		m.Run()
+		if err := m.CheckInvariants(); err != nil {
+			return false
+		}
+		var sum uint64
+		for _, a := range lines {
+			sum += m.Peek(a)
+		}
+		return sum == uint64(n*perThread)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clocks never decrease and the makespan bounds every thread's
+// local time.
+func TestQuickClockMonotonic(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := arch.Xeon()
+		m := New(p)
+		a := m.AllocLine(0)
+		monotonic := true
+		var finals []uint64
+		for ti := 0; ti < 4; ti++ {
+			rng := xrand.New(seed + uint64(ti))
+			m.Spawn(ti*10, func(th *Thread) {
+				last := th.Now()
+				for i := 0; i < 50; i++ {
+					switch rng.Intn(3) {
+					case 0:
+						th.Load(a)
+					case 1:
+						th.Store(a, rng.Uint64())
+					default:
+						th.Pause(rng.Uint64() % 100)
+					}
+					if th.Now() < last {
+						monotonic = false
+					}
+					last = th.Now()
+				}
+				finals = append(finals, th.Now())
+			})
+		}
+		makespan := m.Run()
+		for _, f := range finals {
+			if f > makespan {
+				return false
+			}
+		}
+		return monotonic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

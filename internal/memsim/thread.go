@@ -1,0 +1,199 @@
+package memsim
+
+// Thread is the handle a simulated thread uses to touch memory. All
+// methods must be called from the function passed to Spawn, on the
+// goroutine the machine created for it.
+type Thread struct {
+	m  *Machine
+	c  *coreRT
+	fn func(*Thread)
+}
+
+func (t *Thread) run() {
+	t.fn(t)
+	t.m.events <- event{core: t.c.id, kind: evDone}
+}
+
+// sync hands control to the scheduler and blocks until this thread is the
+// minimum-clock runnable thread. On return the thread holds the machine
+// exclusively until its next sync/park.
+func (t *Thread) sync() {
+	t.m.events <- event{core: t.c.id, kind: evReady}
+	<-t.c.grant
+}
+
+// Core returns the simulated core this thread is pinned to.
+func (t *Thread) Core() int { return t.c.id }
+
+// Node returns the memory node of the thread's core.
+func (t *Thread) Node() int { return t.m.Plat.NodeOf(t.c.id) }
+
+// Machine returns the owning machine.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Now returns the thread's virtual clock in cycles.
+func (t *Thread) Now() uint64 { return t.c.clock }
+
+// Done reports whether the machine deadline has passed for this thread.
+// Thread loops poll it; the simulator never preempts.
+func (t *Thread) Done() bool { return t.c.clock >= t.m.deadline }
+
+// Pause advances the thread's clock by the given cycles without touching
+// memory (local computation, configured back-off, or the paper's
+// inter-operation delay that prevents unrealistic long runs).
+func (t *Thread) Pause(cycles uint64) { t.c.clock += cycles }
+
+// Load reads the 8-byte word at a, paying the coherence cost.
+func (t *Thread) Load(a Addr) uint64 {
+	t.sync()
+	return t.m.doLoad(t.c, a)
+}
+
+// Store writes the 8-byte word at a, paying the coherence cost.
+func (t *Thread) Store(a Addr, v uint64) {
+	t.sync()
+	t.m.doStore(t.c, a, v)
+}
+
+// StoreMulti writes consecutive words starting at a as one coherence
+// transaction (a store-buffer burst within a single cache line, e.g. a
+// message-body memcpy). It panics if the words spill over a line boundary.
+func (t *Thread) StoreMulti(a Addr, vals ...uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	last := a + Addr(8*(len(vals)-1))
+	if a.Line() != last.Line() {
+		panic("memsim: StoreMulti crosses a cache-line boundary")
+	}
+	t.sync()
+	t.m.doStore(t.c, a, vals[0])
+	for i, v := range vals[1:] {
+		w := (a + Addr(8*(i+1))).word()
+		t.m.words[w] = v
+		t.c.clock++ // subsequent stores drain from the store buffer
+		t.m.wakeWord(t.m.getLine(a), w, t.c.clock)
+	}
+}
+
+// LoadMulti reads consecutive words starting at a as one transaction plus
+// register-speed reads of the rest of the (now local) line.
+func (t *Thread) LoadMulti(a Addr, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	last := a + Addr(8*(n-1))
+	if a.Line() != last.Line() {
+		panic("memsim: LoadMulti crosses a cache-line boundary")
+	}
+	t.sync()
+	out := make([]uint64, n)
+	out[0] = t.m.doLoad(t.c, a)
+	for i := 1; i < n; i++ {
+		out[i] = t.m.words[(a + Addr(8*i)).word()]
+		t.c.clock++
+	}
+	return out
+}
+
+// Prefetchw issues a prefetch-with-write-intent for the line holding a,
+// bringing it to Modified state in this core (x86 prefetchw; paper §5.3).
+func (t *Thread) Prefetchw(a Addr) {
+	t.sync()
+	t.m.doPrefetchw(t.c, a)
+}
+
+// CAS atomically compares the word at a with old and, if equal, writes
+// new. It reports whether the swap happened. A failed CAS still acquires
+// the line exclusively, as on the modelled hardware.
+func (t *Thread) CAS(a Addr, old, new uint64) bool {
+	t.sync()
+	prev := t.m.doAtomic(t.c, a, casOp, func(cur uint64) (uint64, bool) {
+		if cur == old {
+			return new, true
+		}
+		return 0, false
+	})
+	return prev == old
+}
+
+// CASVal is CAS returning the previously-stored value along with whether
+// the swap happened — the x86 cmpxchg semantics, which retry loops use to
+// avoid a reload between attempts.
+func (t *Thread) CASVal(a Addr, old, new uint64) (uint64, bool) {
+	t.sync()
+	prev := t.m.doAtomic(t.c, a, casOp, func(cur uint64) (uint64, bool) {
+		if cur == old {
+			return new, true
+		}
+		return 0, false
+	})
+	return prev, prev == old
+}
+
+// FAI atomically increments the word at a and returns its previous value.
+func (t *Thread) FAI(a Addr) uint64 {
+	t.sync()
+	return t.m.doAtomic(t.c, a, faiOp, func(cur uint64) (uint64, bool) {
+		return cur + 1, true
+	})
+}
+
+// FAA atomically adds delta to the word at a and returns its previous
+// value. It costs the same as FAI.
+func (t *Thread) FAA(a Addr, delta uint64) uint64 {
+	t.sync()
+	return t.m.doAtomic(t.c, a, faiOp, func(cur uint64) (uint64, bool) {
+		return cur + delta, true
+	})
+}
+
+// TAS atomically sets the word at a to 1 and returns its previous value
+// (0 means the caller won).
+func (t *Thread) TAS(a Addr) uint64 {
+	t.sync()
+	return t.m.doAtomic(t.c, a, tasOp, func(uint64) (uint64, bool) {
+		return 1, true
+	})
+}
+
+// Swap atomically writes v to the word at a and returns the previous
+// value.
+func (t *Thread) Swap(a Addr, v uint64) uint64 {
+	t.sync()
+	return t.m.doAtomic(t.c, a, swapOp, func(uint64) (uint64, bool) {
+		return v, true
+	})
+}
+
+// WaitChange blocks until the word at a differs from old and returns the
+// new value. It models a polling loop: the first check is a normal load;
+// if the value is unchanged the thread parks, consuming no simulated time,
+// until another core performs a write-intent transaction on the line
+// (which on real hardware is the invalidation that makes the spinner
+// re-fetch). The re-fetch load is then paid, serialised against all other
+// traffic on the line — this is what turns a release under heavy
+// contention into an invalidation storm.
+func (t *Thread) WaitChange(a Addr, old uint64) uint64 {
+	for {
+		v := t.Load(a)
+		if v != old {
+			return v
+		}
+		t.m.events <- event{core: t.c.id, kind: evPark, line: a.Line(), word: a.word(), old: old}
+		<-t.c.grant
+	}
+}
+
+// WaitUntil blocks until pred holds for the word at a, with WaitChange
+// semantics, and returns the satisfying value.
+func (t *Thread) WaitUntil(a Addr, pred func(v uint64) bool) uint64 {
+	v := t.Load(a)
+	for !pred(v) {
+		v = t.WaitChange(a, v)
+	}
+	return v
+}
+
+// Ops returns the number of memory operations this thread has issued.
+func (t *Thread) Ops() uint64 { return t.c.ops }

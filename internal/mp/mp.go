@@ -1,0 +1,157 @@
+// Package mp is the native Go implementation of the paper's libssmp:
+// message passing built over cache coherence. Each one-directional
+// connection is a single cache-line buffer — a full/empty flag plus 56
+// bytes of payload — so transmitting a message costs the line transfers
+// §6.2 derives: the receiver spins on its locally-cached flag until the
+// sender's write invalidates it.
+//
+// Unlike Go channels, a Conn never allocates after construction, never
+// blocks in the runtime (spinning yields cooperatively) and imposes the
+// single-writer/single-reader discipline of the paper's design.
+package mp
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ssync/internal/pad"
+)
+
+// Msg is one message: up to 7 words (56 bytes) of payload.
+type Msg struct {
+	W [7]uint64
+}
+
+// buffer is the one-cache-line message slot. flag is the first word;
+// the payload fills the rest of the line.
+type buffer struct {
+	flag    uint64
+	payload [7]uint64
+	_       [0]pad.Line // document intent: exactly one line of hot state
+}
+
+// Conn is a one-directional single-producer single-consumer connection.
+type Conn struct {
+	buf buffer
+	_   [pad.CacheLineSize]byte // keep neighbouring Conns off this line
+}
+
+// TrySend writes msg if the buffer is free; it reports whether the
+// message was accepted. Only one goroutine may send on a Conn.
+func (c *Conn) TrySend(msg Msg) bool {
+	if atomic.LoadUint64(&c.buf.flag) != 0 {
+		return false
+	}
+	c.buf.payload = msg.W
+	atomic.StoreUint64(&c.buf.flag, 1) // release: publishes the payload
+	return true
+}
+
+// Send blocks (spinning, with cooperative yields) until the previous
+// message is consumed, then transmits msg.
+func (c *Conn) Send(msg Msg) {
+	spins := 0
+	for !c.TrySend(msg) {
+		spins++
+		if spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryRecv consumes a pending message, if any. Only one goroutine may
+// receive on a Conn.
+func (c *Conn) TryRecv() (Msg, bool) {
+	if atomic.LoadUint64(&c.buf.flag) != 1 {
+		return Msg{}, false
+	}
+	var m Msg
+	m.W = c.buf.payload
+	atomic.StoreUint64(&c.buf.flag, 0)
+	return m, true
+}
+
+// Recv blocks until a message arrives and returns it.
+func (c *Conn) Recv() Msg {
+	spins := 0
+	for {
+		if m, ok := c.TryRecv(); ok {
+			return m
+		}
+		spins++
+		if spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Network is a full mesh of connections between n participants, the
+// client-server substrate of libssmp.
+type Network struct {
+	n int
+	// conns[from*n+to]
+	conns []Conn
+}
+
+// NewNetwork creates a mesh for n participants (ids 0..n-1).
+func NewNetwork(n int) *Network {
+	if n < 2 {
+		panic("mp: a network needs at least two participants")
+	}
+	return &Network{n: n, conns: make([]Conn, n*n)}
+}
+
+// N returns the participant count.
+func (nw *Network) N() int { return nw.n }
+
+// Conn returns the from→to connection.
+func (nw *Network) Conn(from, to int) *Conn {
+	nw.check(from)
+	nw.check(to)
+	if from == to {
+		panic("mp: no self connection")
+	}
+	return &nw.conns[from*nw.n+to]
+}
+
+func (nw *Network) check(id int) {
+	if id < 0 || id >= nw.n {
+		panic(fmt.Sprintf("mp: participant %d out of range [0,%d)", id, nw.n))
+	}
+}
+
+// Send transmits msg from participant `from` to participant `to`.
+func (nw *Network) Send(from, to int, msg Msg) { nw.Conn(from, to).Send(msg) }
+
+// Recv blocks until a message from `from` arrives at `to`.
+func (nw *Network) Recv(to, from int) Msg { return nw.Conn(from, to).Recv() }
+
+// RecvAny scans participant `to`'s incoming connections round-robin until
+// a message arrives; it returns the sender and the message. The scan
+// pattern matches libssmp's receive-from-any: idle flags stay cached, so
+// an idle sweep is cheap.
+func (nw *Network) RecvAny(to int) (int, Msg) {
+	nw.check(to)
+	spins := 0
+	for {
+		for from := 0; from < nw.n; from++ {
+			if from == to {
+				continue
+			}
+			if m, ok := nw.conns[from*nw.n+to].TryRecv(); ok {
+				return from, m
+			}
+		}
+		spins++
+		if spins%8 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Call performs a round-trip: send a request to `to`, wait for the reply.
+func (nw *Network) Call(from, to int, msg Msg) Msg {
+	nw.Send(from, to, msg)
+	return nw.Recv(from, to)
+}

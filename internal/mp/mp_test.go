@@ -1,0 +1,158 @@
+package mp
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnFIFO(t *testing.T) {
+	var c Conn
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			c.Send(Msg{W: [7]uint64{uint64(i), uint64(i) * 7}})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m := c.Recv()
+		if m.W[0] != uint64(i) || m.W[1] != uint64(i)*7 {
+			t.Fatalf("message %d corrupted or reordered: %v", i, m.W)
+		}
+	}
+	wg.Wait()
+}
+
+func TestTrySendTryRecv(t *testing.T) {
+	var c Conn
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("TryRecv on empty conn succeeded")
+	}
+	if !c.TrySend(Msg{W: [7]uint64{1}}) {
+		t.Fatal("TrySend on empty conn failed")
+	}
+	if c.TrySend(Msg{W: [7]uint64{2}}) {
+		t.Fatal("TrySend on full conn succeeded")
+	}
+	m, ok := c.TryRecv()
+	if !ok || m.W[0] != 1 {
+		t.Fatalf("TryRecv = %v, %v", m, ok)
+	}
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("double TryRecv succeeded")
+	}
+}
+
+func TestNetworkPairwise(t *testing.T) {
+	nw := NewNetwork(4)
+	var wg sync.WaitGroup
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if a == b {
+				continue
+			}
+			a, b := a, b
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					nw.Send(a, b, Msg{W: [7]uint64{uint64(a), uint64(b), uint64(i)}})
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					m := nw.Recv(b, a)
+					if m.W[0] != uint64(a) || m.W[1] != uint64(b) || m.W[2] != uint64(i) {
+						t.Errorf("pair (%d,%d): bad message %v", a, b, m.W)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	const clients = 3
+	const calls = 200
+	nw := NewNetwork(clients + 1)
+	const server = 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for handled := 0; handled < clients*calls; handled++ {
+			from, m := nw.RecvAny(server)
+			m.W[1] = m.W[0] * 2
+			nw.Send(server, from, m)
+		}
+	}()
+	for c := 1; c <= clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				resp := nw.Call(c, server, Msg{W: [7]uint64{uint64(i)}})
+				if resp.W[1] != uint64(i)*2 {
+					t.Errorf("client %d: bad response %v", c, resp.W)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNetworkValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("tiny network", func() { NewNetwork(1) })
+	nw := NewNetwork(2)
+	mustPanic("self conn", func() { nw.Conn(1, 1) })
+	mustPanic("out of range", func() { nw.Conn(0, 5) })
+}
+
+// Property: any payload survives a send/recv round trip intact.
+func TestQuickPayloadIntegrity(t *testing.T) {
+	var c Conn
+	f := func(w [7]uint64) bool {
+		c.Send(Msg{W: w})
+		return c.Recv().W == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	nw := NewNetwork(2)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if m, ok := nw.Conn(0, 1).TryRecv(); ok {
+				nw.Send(1, 0, m)
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Call(0, 1, Msg{W: [7]uint64{uint64(i)}})
+	}
+	b.StopTimer()
+	close(done)
+}

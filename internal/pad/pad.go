@@ -1,0 +1,114 @@
+// Package pad provides cache-line–padded primitive wrappers.
+//
+// Synchronization data structures are extremely sensitive to false sharing:
+// two logically independent words that land on the same cache line turn
+// every write into an invalidation of the other word's readers. The paper's
+// libslock pads every per-thread slot and every lock field to a cache line;
+// this package provides the same building blocks for the native Go
+// implementations in this repository.
+package pad
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed coherence granularity in bytes. All modern
+// x86, SPARC and Tilera parts the paper studies use 64-byte lines.
+const CacheLineSize = 64
+
+// Uint64 is a uint64 alone on its own cache line.
+//
+// The value is placed first so that a pointer to the struct is also a
+// pointer to a 64-byte-aligned-enough region in practice (Go allocates
+// objects of this size with 64-byte size class), and padded so adjacent
+// array elements never share a line.
+type Uint64 struct {
+	v uint64
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically reads the value.
+func (p *Uint64) Load() uint64 { return atomic.LoadUint64(&p.v) }
+
+// Store atomically writes the value.
+func (p *Uint64) Store(v uint64) { atomic.StoreUint64(&p.v, v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Uint64) Add(delta uint64) uint64 { return atomic.AddUint64(&p.v, delta) }
+
+// CompareAndSwap executes the CAS on the padded word.
+func (p *Uint64) CompareAndSwap(old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&p.v, old, new)
+}
+
+// Swap atomically replaces the value and returns the previous one.
+func (p *Uint64) Swap(v uint64) uint64 { return atomic.SwapUint64(&p.v, v) }
+
+// Raw returns the current value without an atomic load. Only safe when the
+// caller has otherwise established exclusive access.
+func (p *Uint64) Raw() uint64 { return p.v }
+
+// SetRaw writes the value without an atomic store. Only safe when the
+// caller has otherwise established exclusive access.
+func (p *Uint64) SetRaw(v uint64) { p.v = v }
+
+// Uint32 is a uint32 alone on its own cache line.
+type Uint32 struct {
+	v uint32
+	_ [CacheLineSize - 4]byte
+}
+
+// Load atomically reads the value.
+func (p *Uint32) Load() uint32 { return atomic.LoadUint32(&p.v) }
+
+// Store atomically writes the value.
+func (p *Uint32) Store(v uint32) { atomic.StoreUint32(&p.v, v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Uint32) Add(delta uint32) uint32 { return atomic.AddUint32(&p.v, delta) }
+
+// CompareAndSwap executes the CAS on the padded word.
+func (p *Uint32) CompareAndSwap(old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(&p.v, old, new)
+}
+
+// Swap atomically replaces the value and returns the previous one.
+func (p *Uint32) Swap(v uint32) uint32 { return atomic.SwapUint32(&p.v, v) }
+
+// Bool is a boolean flag alone on its own cache line, stored as a uint32.
+type Bool struct {
+	v uint32
+	_ [CacheLineSize - 4]byte
+}
+
+// Load atomically reads the flag.
+func (p *Bool) Load() bool { return atomic.LoadUint32(&p.v) != 0 }
+
+// Store atomically writes the flag.
+func (p *Bool) Store(b bool) {
+	var v uint32
+	if b {
+		v = 1
+	}
+	atomic.StoreUint32(&p.v, v)
+}
+
+// Pointer is an unsafe.Pointer-free padded pointer cell specialised via
+// generics.
+type Pointer[T any] struct {
+	p atomic.Pointer[T]
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically reads the pointer.
+func (p *Pointer[T]) Load() *T { return p.p.Load() }
+
+// Store atomically writes the pointer.
+func (p *Pointer[T]) Store(v *T) { p.p.Store(v) }
+
+// Swap atomically replaces the pointer and returns the previous one.
+func (p *Pointer[T]) Swap(v *T) *T { return p.p.Swap(v) }
+
+// CompareAndSwap executes the CAS on the padded pointer.
+func (p *Pointer[T]) CompareAndSwap(old, new *T) bool { return p.p.CompareAndSwap(old, new) }
+
+// Line is an opaque 64-byte unit, used to size message-passing buffers.
+type Line [CacheLineSize]byte

@@ -1,0 +1,103 @@
+package pad
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s != CacheLineSize {
+		t.Errorf("Uint64 is %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Uint32{}); s != CacheLineSize {
+		t.Errorf("Uint32 is %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Bool{}); s != CacheLineSize {
+		t.Errorf("Bool is %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Pointer[int]{}); s != CacheLineSize {
+		t.Errorf("Pointer is %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Line{}); s != CacheLineSize {
+		t.Errorf("Line is %d bytes, want %d", s, CacheLineSize)
+	}
+}
+
+func TestArrayElementsDoNotShareLines(t *testing.T) {
+	arr := make([]Uint64, 4)
+	for i := 1; i < len(arr); i++ {
+		a := uintptr(unsafe.Pointer(&arr[i-1]))
+		b := uintptr(unsafe.Pointer(&arr[i]))
+		if b-a < CacheLineSize {
+			t.Fatalf("elements %d and %d are %d bytes apart", i-1, i, b-a)
+		}
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var v Uint64
+	v.Store(5)
+	if v.Load() != 5 {
+		t.Fatal("Store/Load")
+	}
+	if v.Add(3) != 8 {
+		t.Fatal("Add")
+	}
+	if !v.CompareAndSwap(8, 10) || v.CompareAndSwap(8, 11) {
+		t.Fatal("CAS")
+	}
+	if v.Swap(1) != 10 || v.Load() != 1 {
+		t.Fatal("Swap")
+	}
+	v.SetRaw(99)
+	if v.Raw() != 99 {
+		t.Fatal("Raw")
+	}
+}
+
+func TestUint32AndBool(t *testing.T) {
+	var u Uint32
+	u.Store(7)
+	if u.Add(1) != 8 || u.Swap(2) != 8 || !u.CompareAndSwap(2, 3) {
+		t.Fatal("Uint32 ops")
+	}
+	var b Bool
+	if b.Load() {
+		t.Fatal("zero Bool must be false")
+	}
+	b.Store(true)
+	if !b.Load() {
+		t.Fatal("Bool Store(true)")
+	}
+}
+
+func TestPointer(t *testing.T) {
+	var p Pointer[int]
+	x, y := new(int), new(int)
+	p.Store(x)
+	if p.Load() != x {
+		t.Fatal("Load")
+	}
+	if !p.CompareAndSwap(x, y) || p.Swap(x) != y {
+		t.Fatal("CAS/Swap")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var v Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Load() != 8000 {
+		t.Fatalf("lost updates: %d", v.Load())
+	}
+}

@@ -1,0 +1,183 @@
+// Package rcl implements the two critical-section-shipping techniques the
+// paper discusses in §7 and scopes for follow-up in §8:
+//
+//   - Remote Core Locking (RCL, Lozi et al. [26]): the "lock, execute,
+//     unlock" pattern is replaced by remote procedure calls to a dedicated
+//     server core, which executes critical sections on behalf of clients
+//     and therefore accesses the protected data locally. The paper's
+//     message-passing results delimit its sweet spot: high contention and
+//     many cores.
+//
+//   - Flat combining (Hendler et al. [18]): threads publish their critical
+//     sections in per-thread slots; whoever holds the lock executes every
+//     published request in one scan, turning k lock hand-overs into one.
+//
+// Both expose the same Execute(func()) surface, so they drop into the
+// same benchmarks as libslock's locks.
+package rcl
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"ssync/internal/pad"
+)
+
+// request is one published critical section.
+type request struct {
+	fn   func()
+	done pad.Uint32
+}
+
+// slot is a client's mailbox, padded so clients never false-share.
+type slot struct {
+	req atomic.Pointer[request]
+	_   [pad.CacheLineSize - 8]byte
+}
+
+// Server is an RCL server: a dedicated goroutine executing the critical
+// sections of up to nClients clients.
+type Server struct {
+	slots   []slot
+	stopped pad.Uint32
+	done    chan struct{}
+}
+
+// NewServer starts the combiner goroutine for nClients client slots.
+func NewServer(nClients int) *Server {
+	if nClients <= 0 {
+		panic("rcl: need at least one client slot")
+	}
+	s := &Server{slots: make([]slot, nClients), done: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+// loop scans the client slots round-robin, executing pending requests —
+// the RCL "server loop". Idle scans read cached slot words only.
+func (s *Server) loop() {
+	defer close(s.done)
+	idle := 0
+	for {
+		any := false
+		for i := range s.slots {
+			r := s.slots[i].req.Load()
+			if r == nil {
+				continue
+			}
+			r.fn()
+			s.slots[i].req.Store(nil)
+			r.done.Store(1)
+			any = true
+		}
+		if s.stopped.Load() != 0 {
+			return
+		}
+		if !any {
+			idle++
+			if idle%4 == 0 {
+				runtime.Gosched()
+			}
+		} else {
+			idle = 0
+		}
+	}
+}
+
+// Client is a per-goroutine handle bound to one server slot.
+type Client struct {
+	s  *Server
+	id int
+}
+
+// NewClient binds slot id (one goroutine per id at a time).
+func (s *Server) NewClient(id int) *Client {
+	if id < 0 || id >= len(s.slots) {
+		panic("rcl: client id out of range")
+	}
+	return &Client{s: s, id: id}
+}
+
+// Execute ships fn to the server and blocks until it ran. Successive
+// Execute calls from all clients are totally ordered by the server, which
+// is the mutual-exclusion guarantee.
+func (c *Client) Execute(fn func()) {
+	r := &request{fn: fn}
+	c.s.slots[c.id].req.Store(r)
+	spins := 0
+	for r.done.Load() == 0 {
+		spins++
+		if spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close stops the server after draining in-flight requests. No Execute
+// may be in flight or issued afterwards.
+func (s *Server) Close() {
+	s.stopped.Store(1)
+	<-s.done
+}
+
+// Combiner is a flat-combining execution lock: a try-lock guard plus one
+// publication slot per thread. Only the thread that wins the guard scans
+// and executes; everyone else just spins on its own done flag — under
+// contention, one lock acquisition serves many critical sections.
+type Combiner struct {
+	flag  pad.Uint32
+	slots []slot
+}
+
+// NewCombiner creates a flat combiner with nThreads publication slots.
+func NewCombiner(nThreads int) *Combiner {
+	if nThreads <= 0 {
+		panic("rcl: need at least one combiner slot")
+	}
+	return &Combiner{slots: make([]slot, nThreads)}
+}
+
+// Handle is a per-goroutine combiner handle.
+type Handle struct {
+	c  *Combiner
+	id int
+}
+
+// NewHandle binds publication slot id (one goroutine per id at a time).
+func (c *Combiner) NewHandle(id int) *Handle {
+	if id < 0 || id >= len(c.slots) {
+		panic("rcl: handle id out of range")
+	}
+	return &Handle{c: c, id: id}
+}
+
+// Execute publishes fn and either combines (if this thread wins the
+// try-lock) or waits for a concurrent combiner to run it.
+func (h *Handle) Execute(fn func()) {
+	r := &request{fn: fn}
+	h.c.slots[h.id].req.Store(r)
+	spins := 0
+	for r.done.Load() == 0 {
+		if h.c.flag.Load() == 0 && h.c.flag.CompareAndSwap(0, 1) {
+			// We are the combiner: execute everything published.
+			for i := range h.c.slots {
+				q := h.c.slots[i].req.Load()
+				if q == nil {
+					continue
+				}
+				q.fn()
+				h.c.slots[i].req.Store(nil)
+				q.done.Store(1)
+			}
+			h.c.flag.Store(0)
+			if r.done.Load() != 0 {
+				return
+			}
+			continue
+		}
+		spins++
+		if spins%16 == 0 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package rcl
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRCLMutualExclusion(t *testing.T) {
+	const clients, perClient = 8, 2000
+	s := NewServer(clients)
+	defer s.Close()
+	var counter int64 // server-executed: no synchronization needed
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.NewClient(id)
+			for i := 0; i < perClient; i++ {
+				c.Execute(func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != clients*perClient {
+		t.Fatalf("counter = %d, want %d", counter, clients*perClient)
+	}
+}
+
+func TestRCLOrderingPerClient(t *testing.T) {
+	s := NewServer(1)
+	defer s.Close()
+	c := s.NewClient(0)
+	var log []int
+	for i := 0; i < 100; i++ {
+		i := i
+		c.Execute(func() { log = append(log, i) })
+	}
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("client requests reordered: %v", log[:i+1])
+		}
+	}
+}
+
+func TestRCLResultPassing(t *testing.T) {
+	// Critical sections are closures: results flow back through captures.
+	s := NewServer(2)
+	defer s.Close()
+	c := s.NewClient(0)
+	shared := map[string]int{}
+	var got int
+	c.Execute(func() { shared["x"] = 41 })
+	c.Execute(func() { shared["x"]++; got = shared["x"] })
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCombinerMutualExclusion(t *testing.T) {
+	const threads, perThread = 8, 2000
+	comb := NewCombiner(threads)
+	var counter int64
+	var inCS int32
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := comb.NewHandle(id)
+			for i := 0; i < perThread; i++ {
+				h.Execute(func() {
+					inCS++
+					if inCS != 1 {
+						t.Errorf("%d threads combined concurrently", inCS)
+					}
+					counter++
+					inCS--
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != threads*perThread {
+		t.Fatalf("counter = %d, want %d", counter, threads*perThread)
+	}
+}
+
+func TestCombinerSingleThread(t *testing.T) {
+	comb := NewCombiner(1)
+	h := comb.NewHandle(0)
+	sum := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		h.Execute(func() { sum += i })
+	}
+	if sum != 55 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero clients", func() { NewServer(0) })
+	mustPanic("zero slots", func() { NewCombiner(0) })
+	s := NewServer(1)
+	defer s.Close()
+	mustPanic("bad client id", func() { s.NewClient(5) })
+	mustPanic("bad handle id", func() { NewCombiner(1).NewHandle(2) })
+}
+
+func BenchmarkExecuteStyles(b *testing.B) {
+	var next int32
+	var mu sync.Mutex
+	slotID := func(n int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		id := int(next) % n
+		next++
+		return id
+	}
+	b.Run("rcl", func(b *testing.B) {
+		s := NewServer(64)
+		defer s.Close()
+		var counter int64
+		b.RunParallel(func(pb *testing.PB) {
+			c := s.NewClient(slotID(64))
+			for pb.Next() {
+				c.Execute(func() { counter++ })
+			}
+		})
+	})
+	b.Run("flatcombining", func(b *testing.B) {
+		comb := NewCombiner(64)
+		var counter int64
+		b.RunParallel(func(pb *testing.PB) {
+			h := comb.NewHandle(slotID(64))
+			for pb.Next() {
+				h.Execute(func() { counter++ })
+			}
+		})
+	})
+}

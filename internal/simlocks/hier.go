@@ -1,0 +1,153 @@
+package simlocks
+
+import "ssync/internal/memsim"
+
+// The hierarchical locks are realised as cohort locks (Dice, Marathe,
+// Shavit [14] — the paper cites this work as the origin of its hticket
+// design, and the hierarchical CLH lock [27] has the same structure):
+// a global lock is held by a *node*, and a per-node local lock hands the
+// critical section between threads of that node for up to CohortLimit
+// consecutive acquisitions before the global lock is surrendered. This
+// keeps lock hand-over traffic inside one socket, which is exactly what
+// pays off on the Xeon's strong intra-socket locality.
+//
+// Because the thread that surrenders the global lock is usually not the
+// thread that acquired it, the global lock's queue token (CLH node or
+// ticket) is part of the per-node cohort state and travels with the lock.
+
+// nodeState is one memory node's cohort bookkeeping. The simulated words
+// (on a line homed at the node, only ever touched while holding the node's
+// local lock, so they stay in-socket) are: word 0 = "this node holds the
+// global lock", word 1 = consecutive local hand-over count. The global
+// lock token is register-like state handed over under the same protection.
+type nodeState struct {
+	addr memsim.Addr
+	// Global-lock token, protected by the node's local lock.
+	clhTok    clhToken
+	ticketTok uint64
+}
+
+func (ns *nodeState) hasGlobal() memsim.Addr { return ns.addr }
+func (ns *nodeState) count() memsim.Addr     { return ns.addr + 8 }
+
+// hclhLock is the hierarchical CLH lock: CLH cohort over CLH locals.
+type hclhLock struct {
+	global *clhLock
+	locals []*clhLock
+	state  []*nodeState
+	limit  uint64
+}
+
+func newHCLHLock(m *memsim.Machine, node int, opt Options) *hclhLock {
+	limit := opt.CohortLimit
+	if limit == 0 {
+		limit = 64
+	}
+	l := &hclhLock{
+		global: newCLHLock(m, node),
+		locals: make([]*clhLock, m.Plat.NumNodes),
+		state:  make([]*nodeState, m.Plat.NumNodes),
+		limit:  limit,
+	}
+	for n := 0; n < m.Plat.NumNodes; n++ {
+		l.locals[n] = newCLHLock(m, n)
+		l.state[n] = &nodeState{addr: m.AllocLine(n)}
+	}
+	return l
+}
+
+func (l *hclhLock) Name() string { return string(HCLH) }
+
+func (l *hclhLock) Acquire(t *memsim.Thread) {
+	n := t.Node()
+	l.locals[n].Acquire(t)
+	if t.Load(l.state[n].hasGlobal()) == 1 {
+		return // the global lock was handed over within the cohort
+	}
+	l.state[n].clhTok = l.global.acquireToken(t)
+	t.Store(l.state[n].hasGlobal(), 1)
+}
+
+func (l *hclhLock) Release(t *memsim.Thread) {
+	n := t.Node()
+	st := l.state[n]
+	cnt := t.Load(st.count())
+	if cnt < l.limit && l.localWaiter(t, n) {
+		// Pass the global lock within the node: the successor inherits the
+		// token via st.clhTok.
+		t.Store(st.count(), cnt+1)
+		l.locals[n].Release(t)
+		return
+	}
+	t.Store(st.count(), 0)
+	t.Store(st.hasGlobal(), 0)
+	l.global.releaseToken(t, st.clhTok)
+	l.locals[n].Release(t)
+}
+
+// localWaiter reports whether another thread of node n is queued on the
+// local lock (CLH: the tail is not the node we enqueued).
+func (l *hclhLock) localWaiter(t *memsim.Thread, n int) bool {
+	return t.Load(l.locals[n].tail) != l.locals[n].tok[t.Core()].my
+}
+
+// hticketLock is the hierarchical ticket lock [14]: ticket cohort over
+// ticket locals (the paper's own hticket).
+type hticketLock struct {
+	global *ticketLock
+	locals []*ticketLock
+	state  []*nodeState
+	limit  uint64
+}
+
+func newHTicketLock(m *memsim.Machine, node int, opt Options) *hticketLock {
+	limit := opt.CohortLimit
+	if limit == 0 {
+		limit = 64
+	}
+	l := &hticketLock{
+		global: newTicketLock(m, node, opt),
+		locals: make([]*ticketLock, m.Plat.NumNodes),
+		state:  make([]*nodeState, m.Plat.NumNodes),
+		limit:  limit,
+	}
+	for n := 0; n < m.Plat.NumNodes; n++ {
+		l.locals[n] = newTicketLock(m, n, opt)
+		l.state[n] = &nodeState{addr: m.AllocLine(n)}
+	}
+	return l
+}
+
+func (l *hticketLock) Name() string { return string(HTICKET) }
+
+func (l *hticketLock) Acquire(t *memsim.Thread) {
+	n := t.Node()
+	l.locals[n].Acquire(t)
+	if t.Load(l.state[n].hasGlobal()) == 1 {
+		return
+	}
+	l.state[n].ticketTok = l.global.acquireTicket(t)
+	t.Store(l.state[n].hasGlobal(), 1)
+}
+
+func (l *hticketLock) Release(t *memsim.Thread) {
+	n := t.Node()
+	st := l.state[n]
+	cnt := t.Load(st.count())
+	if cnt < l.limit && l.localWaiter(t, n) {
+		t.Store(st.count(), cnt+1)
+		l.locals[n].Release(t)
+		return
+	}
+	t.Store(st.count(), 0)
+	t.Store(st.hasGlobal(), 0)
+	l.global.releaseTicket(t, st.ticketTok)
+	l.locals[n].Release(t)
+}
+
+// localWaiter reports whether another thread of node n holds a later
+// ticket on the local lock.
+func (l *hticketLock) localWaiter(t *memsim.Thread, n int) bool {
+	loc := l.locals[n]
+	return t.Load(loc.next) > loc.held[t.Core()]+1
+}

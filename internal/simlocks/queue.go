@@ -1,0 +1,121 @@
+package simlocks
+
+import "ssync/internal/memsim"
+
+// mcsLock is the Mellor-Crummey–Scott queue lock [29]: threads enqueue a
+// qnode (next pointer + granted flag) and spin on their own flag; the
+// releaser hands the lock to its successor with a single store.
+type mcsLock struct {
+	tail memsim.Addr
+	// qnode[i] is core i's queue node: word 0 = next (address of the
+	// successor's qnode, 0 = none), word 1 = granted flag.
+	qnode []memsim.Addr
+}
+
+func newMCSLock(m *memsim.Machine, node int) *mcsLock {
+	l := &mcsLock{
+		tail:  m.AllocLine(node),
+		qnode: make([]memsim.Addr, m.Plat.NumCores),
+	}
+	for c := range l.qnode {
+		// Queue nodes live on their core's own memory node, as libslock
+		// allocates them from thread-local storage.
+		l.qnode[c] = m.AllocLine(m.Plat.NodeOf(c))
+	}
+	return l
+}
+
+func (l *mcsLock) Name() string { return string(MCS) }
+
+func (l *mcsLock) Acquire(t *memsim.Thread) {
+	q := l.qnode[t.Core()]
+	t.Store(q, 0)   // next = nil
+	t.Store(q+8, 0) // granted = false
+	pred := t.Swap(l.tail, uint64(q))
+	if pred == 0 {
+		return // queue was empty: lock acquired
+	}
+	t.Store(memsim.Addr(pred), uint64(q)) // pred.next = me
+	t.WaitUntil(q+8, func(v uint64) bool { return v == 1 })
+}
+
+func (l *mcsLock) Release(t *memsim.Thread) {
+	q := l.qnode[t.Core()]
+	next := t.Load(q)
+	if next == 0 {
+		// No known successor; try to swing the tail back to empty.
+		if t.CAS(l.tail, uint64(q), 0) {
+			return
+		}
+		// A successor is in the middle of enqueueing; wait for the link.
+		next = t.WaitUntil(q, func(v uint64) bool { return v != 0 })
+	}
+	t.Store(memsim.Addr(next)+8, 1)
+}
+
+// clhToken is the transferable state of one CLH acquisition: the node we
+// enqueued and the predecessor node we spun on (which the releaser
+// recycles). The hierarchical locks pass this token between cohort
+// members together with the lock itself.
+type clhToken struct {
+	my    uint64
+	pred  uint64
+	owner int // core whose spare node was enqueued (gets the recycled one)
+}
+
+// clhLock is the Craig–Landin–Hagersten queue lock [43]: an implicit
+// queue where each thread spins on its predecessor's node and recycles
+// that node for its own next acquisition.
+type clhLock struct {
+	tail memsim.Addr
+	// mynode[i] is core i's spare node address; tok[i] its in-flight
+	// acquisition token (register state).
+	mynode []uint64
+	tok    []clhToken
+}
+
+func newCLHLock(m *memsim.Machine, node int) *clhLock {
+	l := &clhLock{
+		tail:   m.AllocLine(node),
+		mynode: make([]uint64, m.Plat.NumCores),
+		tok:    make([]clhToken, m.Plat.NumCores),
+	}
+	for c := range l.mynode {
+		l.mynode[c] = uint64(m.AllocLine(m.Plat.NodeOf(c)))
+	}
+	dummy := m.AllocLine(node)
+	m.Poke(dummy, 0) // released
+	m.Poke(l.tail, uint64(dummy))
+	return l
+}
+
+func (l *clhLock) Name() string { return string(CLH) }
+
+// acquireToken enqueues the calling thread's spare node and spins until
+// the predecessor releases; the returned token must be passed to
+// releaseToken by whichever thread ends up releasing the lock.
+func (l *clhLock) acquireToken(t *memsim.Thread) clhToken {
+	c := t.Core()
+	my := l.mynode[c]
+	t.Store(memsim.Addr(my), 1) // pending
+	pred := t.Swap(l.tail, my)
+	t.WaitUntil(memsim.Addr(pred), func(v uint64) bool { return v == 0 })
+	return clhToken{my: my, pred: pred, owner: c}
+}
+
+// releaseToken releases an acquisition. The recycled predecessor node is
+// handed back to the core that enqueued the token, keeping the one-spare-
+// node-per-core invariant even when a cohort member other than the
+// enqueuer performs the release.
+func (l *clhLock) releaseToken(t *memsim.Thread, tok clhToken) {
+	t.Store(memsim.Addr(tok.my), 0)
+	l.mynode[tok.owner] = tok.pred
+}
+
+func (l *clhLock) Acquire(t *memsim.Thread) {
+	l.tok[t.Core()] = l.acquireToken(t)
+}
+
+func (l *clhLock) Release(t *memsim.Thread) {
+	l.releaseToken(t, l.tok[t.Core()])
+}

@@ -1,0 +1,115 @@
+// Package simlocks implements the nine lock algorithms of the paper's
+// libslock against the machine simulator (internal/memsim): the spin locks
+// TAS, TTAS (with exponential back-off) and TICKET (with proportional
+// back-off and the §5.3 prefetchw optimization), the ARRAY lock, the queue
+// locks MCS and CLH, the hierarchical locks HCLH and HTICKET (realised as
+// cohort locks, per Dice et al. [14], which the paper cites as the origin
+// of its hticket design), and a pthread-style MUTEX.
+//
+// Per-thread lock state (queue nodes, tickets) lives in host variables —
+// the moral equivalent of registers and thread-local storage, which cost
+// nothing on real hardware either. Everything shared goes through the
+// simulator and pays coherence costs.
+package simlocks
+
+import (
+	"fmt"
+
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+)
+
+// Alg names a lock algorithm, using the paper's spelling.
+type Alg string
+
+// The nine algorithms of libslock.
+const (
+	TAS     Alg = "TAS"
+	TTAS    Alg = "TTAS"
+	TICKET  Alg = "TICKET"
+	ARRAY   Alg = "ARRAY"
+	MUTEX   Alg = "MUTEX"
+	MCS     Alg = "MCS"
+	CLH     Alg = "CLH"
+	HCLH    Alg = "HCLH"
+	HTICKET Alg = "HTICKET"
+)
+
+// All lists every algorithm in the paper's figure order.
+var All = []Alg{TAS, TTAS, TICKET, ARRAY, MUTEX, MCS, CLH, HCLH, HTICKET}
+
+// Algorithms returns the algorithms evaluated on a platform: all nine on
+// the multi-sockets, the seven non-hierarchical ones on the single-sockets
+// (paper §6.1.2: "given the uniform structure of the platforms, we do not
+// use hierarchical locks on the single-socket machines").
+func Algorithms(p *arch.Platform) []Alg {
+	if p.MultiSocket {
+		return All
+	}
+	return []Alg{TAS, TTAS, TICKET, ARRAY, MUTEX, MCS, CLH}
+}
+
+// Lock is a simulated lock. Acquire and Release must be called from a
+// simulated thread, in strict pairs per thread.
+type Lock interface {
+	Name() string
+	Acquire(t *memsim.Thread)
+	Release(t *memsim.Thread)
+}
+
+// Options tunes algorithm variants.
+type Options struct {
+	// TicketBackoff enables proportional back-off in the ticket lock
+	// (paper §5.3; on by default through New).
+	TicketBackoff bool
+	// TicketPrefetchw enables the §5.3 prefetchw optimization of the
+	// ticket lock (profitable on the Opteron-style incomplete directory).
+	TicketPrefetchw bool
+	// BackoffUnit is the proportional back-off quantum in cycles.
+	BackoffUnit uint64
+	// MaxExpBackoff caps the TTAS exponential back-off, cycles.
+	MaxExpBackoff uint64
+	// CohortLimit bounds consecutive intra-node hand-offs in the
+	// hierarchical locks.
+	CohortLimit uint64
+}
+
+// DefaultOptions returns the per-platform defaults the paper's SSYNC uses:
+// back-off on, prefetchw wherever the platform benefits from pinning lines
+// in Modified state (the Opteron family).
+func DefaultOptions(p *arch.Platform) Options {
+	return Options{
+		TicketBackoff:   true,
+		TicketPrefetchw: p.IncompleteDirectory,
+		BackoffUnit:     700,
+		MaxExpBackoff:   8192,
+		CohortLimit:     64,
+	}
+}
+
+// New creates a lock of the given algorithm on machine m, with its shared
+// state allocated on memory node `node` (the paper allocates the globally
+// shared data from the first participating node).
+func New(m *memsim.Machine, alg Alg, node int, opt Options) Lock {
+	switch alg {
+	case TAS:
+		return newTASLock(m, node)
+	case TTAS:
+		return newTTASLock(m, node, opt)
+	case TICKET:
+		return newTicketLock(m, node, opt)
+	case ARRAY:
+		return newArrayLock(m, node)
+	case MUTEX:
+		return newMutexLock(m, node)
+	case MCS:
+		return newMCSLock(m, node)
+	case CLH:
+		return newCLHLock(m, node)
+	case HCLH:
+		return newHCLHLock(m, node, opt)
+	case HTICKET:
+		return newHTicketLock(m, node, opt)
+	}
+	panic(fmt.Sprintf("simlocks: unknown algorithm %q", alg))
+}

@@ -1,0 +1,180 @@
+package simlocks
+
+import (
+	"testing"
+
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+)
+
+// exerciseLock runs nThreads × rounds critical sections under the lock and
+// verifies mutual exclusion two ways: a host-side overlap detector and a
+// read-modify-write counter in simulated memory.
+func exerciseLock(t *testing.T, p *arch.Platform, alg Alg, nThreads, rounds int) uint64 {
+	t.Helper()
+	m := memsim.New(p)
+	l := New(m, alg, p.NodeOf(0), DefaultOptions(p))
+	data := m.AllocLine(0)
+	inCS := 0
+	cores := p.PlaceThreads(nThreads)
+	for _, c := range cores {
+		m.Spawn(c, func(th *memsim.Thread) {
+			for i := 0; i < rounds; i++ {
+				l.Acquire(th)
+				inCS++
+				if inCS != 1 {
+					t.Errorf("%s on %s: %d threads in the critical section", alg, p.Name, inCS)
+				}
+				v := th.Load(data)
+				th.Pause(50)
+				th.Store(data, v+1)
+				inCS--
+				l.Release(th)
+				th.Pause(100)
+			}
+		})
+	}
+	cycles := m.Run()
+	want := uint64(nThreads * rounds)
+	if got := m.Peek(data); got != want {
+		t.Errorf("%s on %s: counter = %d, want %d (lost updates)", alg, p.Name, got, want)
+	}
+	return cycles
+}
+
+func TestMutualExclusionAllLocksAllPlatforms(t *testing.T) {
+	for _, p := range arch.All() {
+		for _, alg := range Algorithms(p) {
+			p, alg := p, alg
+			t.Run(p.Name+"/"+string(alg), func(t *testing.T) {
+				n := 8
+				if n > p.NumCores {
+					n = p.NumCores
+				}
+				exerciseLock(t, p, alg, n, 30)
+			})
+		}
+	}
+}
+
+func TestSingleThreadUncontested(t *testing.T) {
+	// Every lock must work (and be cheap) with one thread.
+	p := arch.Opteron()
+	for _, alg := range All {
+		cycles := exerciseLock(t, p, alg, 1, 20)
+		if cycles == 0 {
+			t.Errorf("%s: zero cycles", alg)
+		}
+	}
+}
+
+func TestHighContentionManyCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, p := range []*arch.Platform{arch.Opteron(), arch.Tilera()} {
+		for _, alg := range Algorithms(p) {
+			exerciseLock(t, p, alg, p.NumCores, 6)
+		}
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() uint64 {
+		m := memsim.New(arch.Xeon())
+		l := New(m, MCS, 0, DefaultOptions(m.Plat))
+		data := m.AllocLine(0)
+		for i := 0; i < 12; i++ {
+			m.Spawn(i, func(th *memsim.Thread) {
+				for k := 0; k < 25; k++ {
+					l.Acquire(th)
+					th.Store(data, th.Load(data)+1)
+					l.Release(th)
+				}
+			})
+		}
+		return m.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("lock benchmark not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestTicketVariantsOrdering(t *testing.T) {
+	// §5.3 / Figure 3: naive < back-off < back-off+prefetchw on the
+	// Opteron under contention (in throughput terms: naive slowest).
+	p := arch.Opteron()
+	run := func(opt Options) uint64 {
+		m := memsim.New(p)
+		l := newTicketLock(m, 0, opt)
+		data := m.AllocLine(0)
+		for i := 0; i < 24; i++ {
+			m.Spawn(i, func(th *memsim.Thread) {
+				for k := 0; k < 10; k++ {
+					l.Acquire(th)
+					th.Store(data, th.Load(data)+1)
+					l.Release(th)
+					th.Pause(100)
+				}
+			})
+		}
+		return m.Run()
+	}
+	naive := run(Options{})
+	backoff := run(Options{TicketBackoff: true, BackoffUnit: 700})
+	both := run(Options{TicketBackoff: true, BackoffUnit: 700, TicketPrefetchw: true})
+	if !(naive > backoff) {
+		t.Errorf("naive (%d) should be slower than back-off (%d)", naive, backoff)
+	}
+	if !(backoff > both) {
+		t.Errorf("back-off (%d) should be slower than back-off+prefetchw (%d)", backoff, both)
+	}
+}
+
+func TestHierarchicalBeatsPlainSpinOnXeonContention(t *testing.T) {
+	// Figure 5: under extreme contention on the Xeon the hierarchical locks
+	// win by keeping hand-overs within a socket.
+	p := arch.Xeon()
+	run := func(alg Alg) uint64 {
+		m := memsim.New(p)
+		l := New(m, alg, 0, DefaultOptions(p))
+		data := m.AllocLine(0)
+		for i := 0; i < 40; i++ { // 4 sockets
+			m.Spawn(i, func(th *memsim.Thread) {
+				for k := 0; k < 8; k++ {
+					l.Acquire(th)
+					th.Store(data, th.Load(data)+1)
+					l.Release(th)
+					th.Pause(120)
+				}
+			})
+		}
+		return m.Run()
+	}
+	if tas, ht := run(TAS), run(HTICKET); ht >= tas {
+		t.Errorf("HTICKET (%d cycles) should beat TAS (%d) across 4 Xeon sockets", ht, tas)
+	}
+}
+
+func TestUnknownAlgorithmPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bogus algorithm must panic")
+		}
+	}()
+	New(memsim.New(arch.Opteron()), Alg("BOGUS"), 0, Options{})
+}
+
+func TestAlgorithmsPerPlatform(t *testing.T) {
+	if n := len(Algorithms(arch.Opteron())); n != 9 {
+		t.Errorf("Opteron must evaluate 9 locks, got %d", n)
+	}
+	if n := len(Algorithms(arch.Niagara())); n != 7 {
+		t.Errorf("Niagara must evaluate 7 locks, got %d", n)
+	}
+	for _, alg := range Algorithms(arch.Tilera()) {
+		if alg == HCLH || alg == HTICKET {
+			t.Error("single-sockets must not use hierarchical locks")
+		}
+	}
+}

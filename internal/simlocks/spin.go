@@ -1,0 +1,223 @@
+package simlocks
+
+import "ssync/internal/memsim"
+
+// tasLock is the test-and-set spin lock: one word, spun on with the atomic
+// itself. Scales poorly by design — every attempt is a write-intent
+// transaction on the single line.
+type tasLock struct {
+	word memsim.Addr
+}
+
+func newTASLock(m *memsim.Machine, node int) *tasLock {
+	return &tasLock{word: m.AllocLine(node)}
+}
+
+func (l *tasLock) Name() string { return string(TAS) }
+
+func (l *tasLock) Acquire(t *memsim.Thread) {
+	for t.TAS(l.word) != 0 {
+		// Re-attempt as soon as the line is handed back; the failed TAS
+		// already cost a full exclusive acquisition of the line.
+	}
+}
+
+func (l *tasLock) Release(t *memsim.Thread) { t.Store(l.word, 0) }
+
+// ttasLock is the test-and-test-and-set lock with exponential back-off:
+// spin reading (locally cached) until the lock looks free, then attempt
+// the TAS; back off exponentially on failure.
+type ttasLock struct {
+	word memsim.Addr
+	max  uint64
+}
+
+func newTTASLock(m *memsim.Machine, node int, opt Options) *ttasLock {
+	max := opt.MaxExpBackoff
+	if max == 0 {
+		max = 8192
+	}
+	return &ttasLock{word: m.AllocLine(node), max: max}
+}
+
+func (l *ttasLock) Name() string { return string(TTAS) }
+
+func (l *ttasLock) Acquire(t *memsim.Thread) {
+	backoff := uint64(128)
+	for {
+		t.WaitUntil(l.word, func(v uint64) bool { return v == 0 })
+		if t.TAS(l.word) == 0 {
+			return
+		}
+		t.Pause(backoff)
+		if backoff < l.max {
+			backoff *= 2
+		}
+	}
+}
+
+func (l *ttasLock) Release(t *memsim.Thread) { t.Store(l.word, 0) }
+
+// ticketLock is the paper's §5.3 ticket lock: a next counter taken with
+// FAI and a current counter spun upon. Variants: naive spinning (every
+// release triggers a re-fetch storm), proportional back-off (spin with a
+// pause proportional to the queue position, [29]), and prefetchw (pin the
+// line in Modified state before reading, avoiding the Opteron's
+// store-on-shared broadcast).
+type ticketLock struct {
+	next     memsim.Addr
+	current  memsim.Addr
+	backoff  bool
+	prefetch bool
+	unit     uint64
+	// held[i] is core i's ticket while it holds the lock (register state).
+	held []uint64
+}
+
+func newTicketLock(m *memsim.Machine, node int, opt Options) *ticketLock {
+	unit := opt.BackoffUnit
+	if unit == 0 {
+		unit = 700
+	}
+	// next and current deliberately live on separate lines so that ticket
+	// grabbing does not steal the line spinners poll.
+	return &ticketLock{
+		next:     m.AllocLine(node),
+		current:  m.AllocLine(node),
+		backoff:  opt.TicketBackoff,
+		prefetch: opt.TicketPrefetchw,
+		unit:     unit,
+		held:     make([]uint64, m.Plat.NumCores),
+	}
+}
+
+func (l *ticketLock) Name() string { return string(TICKET) }
+
+// acquireTicket draws a ticket, waits for its turn and returns the ticket,
+// which whoever releases the lock must pass to releaseTicket (the
+// hierarchical lock hands it over within a cohort).
+func (l *ticketLock) acquireTicket(t *memsim.Thread) uint64 {
+	ticket := t.FAI(l.next)
+	if l.prefetch {
+		t.Prefetchw(l.current)
+	}
+	cur := t.Load(l.current)
+	for cur != ticket {
+		if !l.backoff {
+			// Naive: re-fetch on every release (invalidation storm).
+			cur = t.WaitChange(l.current, cur)
+			continue
+		}
+		// Proportional back-off: pause for the expected number of
+		// hand-overs before us [29], then poll again. In the §5.3
+		// prefetchw variant every load is preceded by the (asynchronous,
+		// fire-and-forget) prefetch, so the line is always in Modified
+		// state at the most recent poller, the load itself hits the
+		// freshly-owned local copy, and no store to the line ever finds it
+		// Shared or Owned — the Opteron never pays its broadcast.
+		t.Pause((ticket - cur) * l.unit)
+		if l.prefetch {
+			t.Prefetchw(l.current)
+		}
+		cur = t.Load(l.current)
+	}
+	return ticket
+}
+
+func (l *ticketLock) releaseTicket(t *memsim.Thread, ticket uint64) {
+	// A plain store. In the prefetchw variant the pollers keep the line in
+	// Modified state, so this is a directed point-to-point transfer rather
+	// than a store-on-shared broadcast.
+	t.Store(l.current, ticket+1)
+}
+
+func (l *ticketLock) Acquire(t *memsim.Thread) {
+	l.held[t.Core()] = l.acquireTicket(t)
+}
+
+func (l *ticketLock) Release(t *memsim.Thread) {
+	// The holder knows its ticket; the release is a single store.
+	l.releaseTicket(t, l.held[t.Core()])
+}
+
+// arrayLock is Anderson's array-based queue lock [20]: one padded flag
+// slot per core; each thread spins on its own slot.
+type arrayLock struct {
+	tail  memsim.Addr
+	slots []memsim.Addr
+	n     uint64
+	// myslot[i] is core i's current slot index (per-thread register state).
+	myslot []uint64
+}
+
+func newArrayLock(m *memsim.Machine, node int) *arrayLock {
+	n := m.Plat.NumCores
+	l := &arrayLock{
+		tail:   m.AllocLine(node),
+		slots:  make([]memsim.Addr, n),
+		n:      uint64(n),
+		myslot: make([]uint64, n),
+	}
+	for i := range l.slots {
+		l.slots[i] = m.AllocLine(node)
+	}
+	m.Poke(l.slots[0], 1) // slot 0 starts granted
+	return l
+}
+
+func (l *arrayLock) Name() string { return string(ARRAY) }
+
+func (l *arrayLock) Acquire(t *memsim.Thread) {
+	idx := t.FAI(l.tail) % l.n
+	l.myslot[t.Core()] = idx
+	t.WaitUntil(l.slots[idx], func(v uint64) bool { return v == 1 })
+	t.Store(l.slots[idx], 0) // rearm for the next round
+}
+
+func (l *arrayLock) Release(t *memsim.Thread) {
+	idx := (l.myslot[t.Core()] + 1) % l.n
+	t.Store(l.slots[idx], 1)
+}
+
+// mutexLock models the pthread mutex: one CAS attempt, a brief adaptive
+// spin, then futex-style parking. The park/wake costs come from the
+// platform model (syscall plus context switch). Word states: 0 free,
+// 1 locked, 2 locked with (possible) waiters.
+type mutexLock struct {
+	word memsim.Addr
+	m    *memsim.Machine
+}
+
+func newMutexLock(m *memsim.Machine, node int) *mutexLock {
+	return &mutexLock{word: m.AllocLine(node), m: m}
+}
+
+func (l *mutexLock) Name() string { return string(MUTEX) }
+
+func (l *mutexLock) Acquire(t *memsim.Thread) {
+	if t.CAS(l.word, 0, 1) {
+		return
+	}
+	// Short adaptive spin before sleeping.
+	for i := 0; i < 2; i++ {
+		t.Pause(120)
+		if t.CAS(l.word, 0, 1) {
+			return
+		}
+	}
+	for {
+		v := t.Swap(l.word, 2) // mark contended
+		if v == 0 {
+			return // got it (now in contended state; unlock will pay a wake)
+		}
+		t.Pause(l.m.Plat.MutexParkCost) // futex_wait entry
+		t.WaitUntil(l.word, func(v uint64) bool { return v != 2 })
+		t.Pause(l.m.Plat.MutexResumeCost) // kernel wake-up path
+	}
+}
+
+func (l *mutexLock) Release(t *memsim.Thread) {
+	if t.Swap(l.word, 0) == 2 {
+		t.Pause(l.m.Plat.MutexWakeCost) // futex_wake syscall
+	}
+}

@@ -1,0 +1,242 @@
+// Package simmp implements the paper's libssmp — message passing over
+// cache coherence — against the machine simulator, plus the Tilera's
+// hardware message passing.
+//
+// A software connection is one-directional and uses a single cache-line
+// buffer: word 0 is the full/empty flag, words 1..7 carry up to 56 bytes
+// of payload (the paper's messages are exactly one cache line). A message
+// transmission therefore costs the cache-line transfers the paper derives
+// in §6.2: the receiver spins on its locally-cached flag; the sender's
+// write invalidates it and the receiver re-fetches — one-way ≈ 2 line
+// transfers, round-trip ≈ 4.
+//
+// On the Tilera the same API rides the hardware channels of
+// memsim.Channel (the iMesh user-dynamic network), which is both faster
+// and insensitive to the coherence protocol, as in the paper.
+package simmp
+
+import (
+	"fmt"
+
+	"ssync/internal/memsim"
+)
+
+// Msg is one message: up to 7 words of payload (56 bytes; the last word of
+// the cache line is the flag).
+type Msg struct {
+	W [7]uint64
+}
+
+// Options tunes the software implementation.
+type Options struct {
+	// Prefetchw makes the sender pin the buffer line in Modified state
+	// before writing, the §5.3 optimization that makes message passing on
+	// the Opteron up to 2.5× faster.
+	Prefetchw bool
+	// ForceSoftware uses the cache-coherence implementation even on
+	// platforms with hardware message passing (for ablations).
+	ForceSoftware bool
+}
+
+// DefaultOptions mirrors the paper's per-platform tuning.
+func DefaultOptions(m *memsim.Machine) Options {
+	return Options{Prefetchw: m.Plat.IncompleteDirectory}
+}
+
+// Network is a full mesh of one-directional connections between the
+// participant cores.
+type Network struct {
+	m    *memsim.Machine
+	opt  Options
+	hw   bool
+	part map[int]int // core -> participant index
+
+	// Software buffers: buf[from][to] is the line for from→to messages,
+	// allocated on the receiver's memory node.
+	buf [][]memsim.Addr
+
+	// Hardware: one receive channel per participant.
+	ch []*memsim.Channel
+
+	cores []int
+}
+
+// NewNetwork wires the given cores into a full mesh.
+func NewNetwork(m *memsim.Machine, cores []int, opt Options) *Network {
+	n := &Network{
+		m:     m,
+		opt:   opt,
+		hw:    m.Plat.HardwareMP && !opt.ForceSoftware,
+		part:  make(map[int]int, len(cores)),
+		cores: append([]int(nil), cores...),
+	}
+	for i, c := range cores {
+		n.part[c] = i
+	}
+	if n.hw {
+		n.ch = make([]*memsim.Channel, len(cores))
+		for i, c := range cores {
+			n.ch[i] = m.NewChannel(c)
+		}
+		return n
+	}
+	n.buf = make([][]memsim.Addr, len(cores))
+	for i := range cores {
+		n.buf[i] = make([]memsim.Addr, len(cores))
+		for j, to := range cores {
+			if i == j {
+				continue
+			}
+			// The buffer lives on the receiver's memory node.
+			n.buf[i][j] = m.AllocLine(m.Plat.NodeOf(to))
+		}
+	}
+	return n
+}
+
+// Hardware reports whether the network uses hardware message passing.
+func (n *Network) Hardware() bool { return n.hw }
+
+func (n *Network) idx(core int) int {
+	i, ok := n.part[core]
+	if !ok {
+		panic(fmt.Sprintf("simmp: core %d is not a participant", core))
+	}
+	return i
+}
+
+// flag and payload layout within a buffer line.
+func flagAddr(buf memsim.Addr) memsim.Addr        { return buf }
+func wordAddr(buf memsim.Addr, i int) memsim.Addr { return buf + memsim.Addr(8+8*i) }
+
+// Send transmits msg from the calling thread's core to the given core,
+// blocking (parked) while the previous message is still unconsumed.
+func (n *Network) Send(t *memsim.Thread, to int, msg Msg) {
+	if n.hw {
+		n.sendHW(t, to, msg)
+		return
+	}
+	buf := n.buf[n.idx(t.Core())][n.idx(to)]
+	t.WaitUntil(flagAddr(buf), func(v uint64) bool { return v == 0 })
+	if n.opt.Prefetchw {
+		t.Prefetchw(flagAddr(buf))
+	}
+	// The whole message body is one store-buffer burst (libssmp copies a
+	// full cache-line message); the flag is released last.
+	t.StoreMulti(wordAddr(buf, 0), msg.W[:]...)
+	t.Store(flagAddr(buf), 1)
+}
+
+// Recv blocks until a message from the given core arrives and returns it.
+func (n *Network) Recv(t *memsim.Thread, from int) Msg {
+	if n.hw {
+		for {
+			val, f := t.ChanRecv(n.ch[n.idx(t.Core())])
+			if f == from {
+				return hwToMsg(val)
+			}
+			// Unexpected sender on a pairwise Recv: requeue is not
+			// supported by the hardware; this is a protocol error.
+			panic(fmt.Sprintf("simmp: Recv(from=%d) got message from %d", from, f))
+		}
+	}
+	buf := n.buf[n.idx(from)][n.idx(t.Core())]
+	return n.consume(t, buf)
+}
+
+// consume reads one message out of a software buffer and releases it. On
+// the Opteron family the buffer line is pinned in Modified state first
+// (§5.3), so the flag-clearing store is local instead of a
+// store-on-shared broadcast — the receive-side half of the optimization
+// that makes Opteron message passing up to 2.5× faster.
+func (n *Network) consume(t *memsim.Thread, buf memsim.Addr) Msg {
+	t.WaitUntil(flagAddr(buf), func(v uint64) bool { return v == 1 })
+	if n.opt.Prefetchw {
+		t.Prefetchw(flagAddr(buf))
+	}
+	var msg Msg
+	copy(msg.W[:], t.LoadMulti(wordAddr(buf, 0), 7)) // local after the flag load
+	t.Store(flagAddr(buf), 0)
+	return msg
+}
+
+// TryRecv polls for a message from the given core without blocking.
+func (n *Network) TryRecv(t *memsim.Thread, from int) (Msg, bool) {
+	if n.hw {
+		val, f, ok := t.ChanTryRecv(n.ch[n.idx(t.Core())])
+		if !ok {
+			return Msg{}, false
+		}
+		if f != from {
+			panic(fmt.Sprintf("simmp: TryRecv(from=%d) got message from %d", from, f))
+		}
+		return hwToMsg(val), true
+	}
+	buf := n.buf[n.idx(from)][n.idx(t.Core())]
+	if t.Load(flagAddr(buf)) != 1 {
+		return Msg{}, false
+	}
+	if n.opt.Prefetchw {
+		t.Prefetchw(flagAddr(buf))
+	}
+	var msg Msg
+	copy(msg.W[:], t.LoadMulti(wordAddr(buf, 0), 7))
+	t.Store(flagAddr(buf), 0)
+	return msg, true
+}
+
+// RecvAny blocks until a message from any participant arrives; it returns
+// the sender core and the message. Software mode scans the incoming
+// buffers round-robin — the flag loads hit the local cache until a sender
+// invalidates one, so an idle scan is cheap, exactly as in libssmp.
+func (n *Network) RecvAny(t *memsim.Thread) (int, Msg) {
+	me := n.idx(t.Core())
+	if n.hw {
+		val, from := t.ChanRecv(n.ch[me])
+		return from, hwToMsg(val)
+	}
+	for {
+		for j, from := range n.cores {
+			if j == me {
+				continue
+			}
+			buf := n.buf[j][me]
+			if t.Load(flagAddr(buf)) == 1 {
+				if n.opt.Prefetchw {
+					t.Prefetchw(flagAddr(buf))
+				}
+				var msg Msg
+				copy(msg.W[:], t.LoadMulti(wordAddr(buf, 0), 7))
+				t.Store(flagAddr(buf), 0)
+				return from, msg
+			}
+		}
+		if t.Done() {
+			return -1, Msg{}
+		}
+		t.Pause(20) // polling sweep gap
+	}
+}
+
+// Call performs a round-trip: send a request to `to` and wait for its
+// response (the client-server pattern of §6.2).
+func (n *Network) Call(t *memsim.Thread, to int, msg Msg) Msg {
+	n.Send(t, to, msg)
+	return n.Recv(t, to)
+}
+
+func hwToMsg(val [8]uint64) Msg {
+	var m Msg
+	copy(m.W[:], val[:7])
+	return m
+}
+
+func msgToHW(m Msg) [8]uint64 {
+	var val [8]uint64
+	copy(val[:7], m.W[:])
+	return val
+}
+
+func (n *Network) sendHW(t *memsim.Thread, to int, msg Msg) {
+	t.ChanSend(n.ch[n.idx(to)], to, msgToHW(msg))
+}

@@ -1,0 +1,195 @@
+package simmp
+
+import (
+	"testing"
+
+	"ssync/internal/arch"
+	"ssync/internal/memsim"
+)
+
+func TestOneWaySoftware(t *testing.T) {
+	p := arch.Opteron()
+	m := memsim.New(p)
+	net := NewNetwork(m, []int{0, 6}, DefaultOptions(m))
+	const rounds = 50
+	var got []uint64
+	m.Spawn(0, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			net.Send(th, 6, Msg{W: [7]uint64{uint64(i), uint64(i) * 3}})
+		}
+	})
+	m.Spawn(6, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			msg := net.Recv(th, 0)
+			got = append(got, msg.W[0])
+			if msg.W[1] != msg.W[0]*3 {
+				t.Errorf("payload corrupted: %v", msg.W)
+			}
+		}
+	})
+	m.Run()
+	if len(got) != rounds {
+		t.Fatalf("received %d messages, want %d", len(got), rounds)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("message %d has value %d (order violated)", i, v)
+		}
+	}
+}
+
+func TestRoundTripCost(t *testing.T) {
+	// §6.2: a one-way message costs about two cache-line transfers, a
+	// round-trip about four. Verify the one-way latency is in the right
+	// regime on the Xeon (same die: 214 one-way, 564 round-trip measured).
+	p := arch.Xeon()
+	m := memsim.New(p)
+	net := NewNetwork(m, []int{0, 1}, DefaultOptions(m))
+	const rounds = 100
+	m.Spawn(0, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			net.Call(th, 1, Msg{W: [7]uint64{7}})
+		}
+	})
+	m.Spawn(1, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			_, msg := net.RecvAny(th)
+			net.Send(th, 0, msg)
+		}
+	})
+	cycles := m.Run()
+	perRT := cycles / rounds
+	oneLine := p.Lat(arch.Load, arch.Modified, arch.XeonSameDie)
+	if perRT < 2*oneLine || perRT > 12*oneLine {
+		t.Errorf("round-trip = %d cycles; want within [%d, %d] (2–12 line transfers)", perRT, 2*oneLine, 12*oneLine)
+	}
+}
+
+func TestHardwareMPTilera(t *testing.T) {
+	p := arch.Tilera()
+	m := memsim.New(p)
+	net := NewNetwork(m, []int{0, 35}, DefaultOptions(m))
+	if !net.Hardware() {
+		t.Fatal("Tilera network must use hardware message passing")
+	}
+	const rounds = 50
+	m.Spawn(0, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			net.Send(th, 35, Msg{W: [7]uint64{uint64(i)}})
+			net.Recv(th, 35)
+		}
+	})
+	m.Spawn(35, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			from, msg := net.RecvAny(th)
+			if from != 0 {
+				t.Errorf("wrong sender %d", from)
+			}
+			net.Send(th, 0, msg)
+		}
+	})
+	cycles := m.Run()
+	perRT := float64(cycles) / rounds
+	// Figure 9: Tilera max-hops round-trip ≈ 138 cycles.
+	if perRT < 100 || perRT > 300 {
+		t.Errorf("hardware round-trip = %.0f cycles, want ≈138 (100–300)", perRT)
+	}
+	// Software-forced must be slower than hardware on the Tilera.
+	m2 := memsim.New(p)
+	sw := NewNetwork(m2, []int{0, 35}, Options{ForceSoftware: true})
+	if sw.Hardware() {
+		t.Fatal("ForceSoftware ignored")
+	}
+	m2.Spawn(0, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			sw.Send(th, 35, Msg{W: [7]uint64{uint64(i)}})
+			sw.Recv(th, 35)
+		}
+	})
+	m2.Spawn(35, func(th *memsim.Thread) {
+		for i := 0; i < rounds; i++ {
+			_, msg := sw.RecvAny(th)
+			sw.Send(th, 0, msg)
+		}
+	})
+	swCycles := m2.Run()
+	if swCycles <= cycles {
+		t.Errorf("software MP (%d cycles) should be slower than hardware (%d) on the Tilera", swCycles, cycles)
+	}
+}
+
+func TestClientServer(t *testing.T) {
+	// One server, several clients, round-trip calls; checks demux and FIFO
+	// per pair.
+	p := arch.Niagara()
+	m := memsim.New(p)
+	cores := []int{0, 8, 16, 24}
+	net := NewNetwork(m, cores, DefaultOptions(m))
+	const calls = 30
+	served := 0
+	m.Spawn(0, func(th *memsim.Thread) { // server
+		for served < calls*(len(cores)-1) {
+			from, msg := net.RecvAny(th)
+			msg.W[1] = msg.W[0] + 100
+			net.Send(th, from, msg)
+			served++
+		}
+	})
+	for _, c := range cores[1:] {
+		c := c
+		m.Spawn(c, func(th *memsim.Thread) {
+			for i := 0; i < calls; i++ {
+				resp := net.Call(th, 0, Msg{W: [7]uint64{uint64(i)}})
+				if resp.W[1] != uint64(i)+100 {
+					t.Errorf("client %d call %d: bad response %v", c, i, resp.W)
+				}
+			}
+		})
+	}
+	m.Run()
+	if served != calls*(len(cores)-1) {
+		t.Fatalf("server handled %d calls, want %d", served, calls*(len(cores)-1))
+	}
+}
+
+func TestPrefetchwSpeedsUpOpteronMP(t *testing.T) {
+	// §5.3: message passing on the Opteron is faster with prefetchw.
+	run := func(opt Options) uint64 {
+		p := arch.Opteron()
+		m := memsim.New(p)
+		net := NewNetwork(m, []int{0, 24}, opt)
+		const rounds = 60
+		m.Spawn(0, func(th *memsim.Thread) {
+			for i := 0; i < rounds; i++ {
+				net.Call(th, 24, Msg{W: [7]uint64{1}})
+			}
+		})
+		m.Spawn(24, func(th *memsim.Thread) {
+			for i := 0; i < rounds; i++ {
+				_, msg := net.RecvAny(th)
+				net.Send(th, 0, msg)
+			}
+		})
+		return m.Run()
+	}
+	with := run(Options{Prefetchw: true})
+	without := run(Options{})
+	if with >= without {
+		t.Errorf("prefetchw must speed up Opteron MP: with=%d without=%d", with, without)
+	}
+}
+
+func TestTryRecvEmpty(t *testing.T) {
+	p := arch.Opteron()
+	m := memsim.New(p)
+	net := NewNetwork(m, []int{0, 1}, Options{})
+	var ok bool
+	m.Spawn(0, func(th *memsim.Thread) {
+		_, ok = net.TryRecv(th, 1)
+	})
+	m.Spawn(1, func(th *memsim.Thread) { th.Pause(1) })
+	m.Run()
+	if ok {
+		t.Fatal("TryRecv on an empty connection must report no message")
+	}
+}

@@ -1,0 +1,127 @@
+package ssht
+
+import (
+	"fmt"
+
+	"ssync/internal/mp"
+)
+
+// Served is the message-passing variant of the hash table (paper §6.3):
+// server goroutines own disjoint bucket ranges and execute operations on
+// behalf of clients, which ship each request as one cache-line message and
+// block for the response. No locks exist — partitioning enforces mutual
+// exclusion, the single-writer principle of Barrelfish-style designs.
+type Served struct {
+	nBuckets uint64
+	nServers int
+	net      *mp.Network
+	stop     []chan struct{}
+}
+
+// Request opcodes.
+const (
+	opGet uint64 = iota + 1
+	opPut
+	opRemove
+	opShutdown
+)
+
+// NewServed starts nServers server goroutines (participants 0..nServers-1
+// of the returned network; clients are nServers..nServers+nClients-1).
+// The paper's configuration is one server per three client cores.
+func NewServed(nBuckets, nServers, nClients int) *Served {
+	if nBuckets <= 0 || nServers <= 0 || nClients <= 0 {
+		panic("ssht: NewServed needs positive buckets, servers and clients")
+	}
+	s := &Served{
+		nBuckets: uint64(nBuckets),
+		nServers: nServers,
+		net:      mp.NewNetwork(nServers + nClients),
+		stop:     make([]chan struct{}, nServers),
+	}
+	for i := 0; i < nServers; i++ {
+		s.stop[i] = make(chan struct{})
+		go s.serve(i)
+	}
+	return s
+}
+
+// serve owns the buckets b with b % nServers == id.
+func (s *Served) serve(id int) {
+	table := make(map[uint64]Value) // only this goroutine touches it
+	defer close(s.stop[id])
+	for {
+		from, req := s.net.RecvAny(id)
+		switch req.W[0] {
+		case opGet:
+			v, ok := table[req.W[1]]
+			resp := mp.Msg{W: [7]uint64{boolWord(ok), v[0], v[1], v[2], v[3], v[4]}}
+			s.net.Send(id, from, resp)
+		case opPut:
+			_, existed := table[req.W[1]]
+			table[req.W[1]] = Value{req.W[2], req.W[3], req.W[4], req.W[5], req.W[6]}
+			s.net.Send(id, from, mp.Msg{W: [7]uint64{boolWord(!existed)}})
+		case opRemove:
+			_, ok := table[req.W[1]]
+			delete(table, req.W[1])
+			s.net.Send(id, from, mp.Msg{W: [7]uint64{boolWord(ok)}})
+		case opShutdown:
+			s.net.Send(id, from, mp.Msg{})
+			return
+		default:
+			panic(fmt.Sprintf("ssht: server %d received bad opcode %d", id, req.W[0]))
+		}
+	}
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Client is a per-goroutine accessor; id is the client index in
+// [0, nClients).
+type Client struct {
+	s  *Served
+	me int
+}
+
+// NewClient returns the accessor for client index id. Each id must be used
+// by exactly one goroutine.
+func (s *Served) NewClient(id int) *Client {
+	return &Client{s: s, me: s.nServers + id}
+}
+
+// serverOf maps a key's bucket to its owning server.
+func (s *Served) serverOf(key uint64) int {
+	b := (key * 0x9e3779b97f4a7c15 >> 17) % s.nBuckets
+	return int(b % uint64(s.nServers))
+}
+
+// Get fetches the value under key.
+func (c *Client) Get(key uint64) (Value, bool) {
+	resp := c.s.net.Call(c.me, c.s.serverOf(key), mp.Msg{W: [7]uint64{opGet, key}})
+	return Value{resp.W[1], resp.W[2], resp.W[3], resp.W[4], resp.W[5]}, resp.W[0] == 1
+}
+
+// Put stores the value under key; it reports whether the key was new.
+func (c *Client) Put(key uint64, v Value) bool {
+	req := mp.Msg{W: [7]uint64{opPut, key, v[0], v[1], v[2], v[3], v[4]}}
+	return c.s.net.Call(c.me, c.s.serverOf(key), req).W[0] == 1
+}
+
+// Remove deletes key; it reports whether the key was present.
+func (c *Client) Remove(key uint64) bool {
+	return c.s.net.Call(c.me, c.s.serverOf(key), mp.Msg{W: [7]uint64{opRemove, key}}).W[0] == 1
+}
+
+// Close shuts the servers down. Exactly one client may call it, once, and
+// only after all other clients have stopped issuing operations.
+func (c *Client) Close() {
+	for id := 0; id < c.s.nServers; id++ {
+		c.s.net.Call(c.me, id, mp.Msg{W: [7]uint64{opShutdown}})
+		<-c.s.stop[id]
+	}
+}

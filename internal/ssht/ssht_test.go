@@ -1,0 +1,195 @@
+package ssht
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ssync/internal/locks"
+	"ssync/internal/xrand"
+)
+
+func val(x uint64) Value { return Value{x, x + 1, x + 2, x + 3, x + 4} }
+
+func TestBasicOps(t *testing.T) {
+	h := New(Options{Buckets: 16}).NewHandle(0)
+	if _, ok := h.Get(42); ok {
+		t.Fatal("Get on empty table")
+	}
+	if !h.Put(42, val(1)) {
+		t.Fatal("first Put must report insertion")
+	}
+	if h.Put(42, val(2)) {
+		t.Fatal("second Put must report replacement")
+	}
+	if v, ok := h.Get(42); !ok || v != val(2) {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if !h.Remove(42) {
+		t.Fatal("Remove of present key failed")
+	}
+	if h.Remove(42) {
+		t.Fatal("Remove of absent key succeeded")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", h.Len())
+	}
+}
+
+func TestOverflowChaining(t *testing.T) {
+	// Force everything into very few buckets to exercise segment chains.
+	h := New(Options{Buckets: 2}).NewHandle(0)
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		h.Put(i, val(i))
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := h.Get(i); !ok || v != val(i) {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	// Remove odd keys, re-check.
+	for i := uint64(1); i < n; i += 2 {
+		if !h.Remove(i) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		_, ok := h.Get(i)
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("after removal Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	// Slots freed by removal are reused before new segments are chained.
+	for i := uint64(1); i < n; i += 2 {
+		h.Put(i, val(i))
+	}
+	if h.Len() != n {
+		t.Fatalf("Len after reinsert = %d, want %d", h.Len(), n)
+	}
+}
+
+// Property: a sequential op mix agrees with a map reference.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		h := New(Options{Buckets: 8}).NewHandle(0)
+		ref := map[uint64]Value{}
+		rng := xrand.New(seed)
+		for _, op := range ops {
+			k := uint64(op % 61)
+			switch {
+			case op%3 == 0:
+				v := val(rng.Uint64())
+				h.Put(k, v)
+				ref[k] = v
+			case op%3 == 1:
+				got, ok := h.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			default:
+				if h.Remove(k) != (func() bool { _, ok := ref[k]; return ok })() {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		return h.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent smoke test with key-space partitioning: each goroutine owns a
+// disjoint key range, so its view must be exactly sequential, while all
+// goroutines share buckets and therefore locks.
+func TestConcurrentPartitionedKeys(t *testing.T) {
+	for _, alg := range []locks.Algorithm{locks.TAS, locks.TICKET, locks.MCS, locks.CLH, locks.MUTEX} {
+		tbl := New(Options{Buckets: 12, Lock: alg, MaxThreads: 16})
+		var wg sync.WaitGroup
+		const nG, perG = 6, 400
+		for g := 0; g < nG; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := tbl.NewHandle(g % 2)
+				base := uint64(g) << 32
+				rng := xrand.New(uint64(g) + 1)
+				local := map[uint64]Value{}
+				for i := 0; i < perG; i++ {
+					k := base + rng.Uint64()%97
+					switch rng.Intn(10) {
+					case 0, 1:
+						if h.Remove(k) != (func() bool { _, ok := local[k]; return ok })() {
+							t.Errorf("%s: Remove(%d) inconsistent", alg, k)
+						}
+						delete(local, k)
+					case 2, 3, 4:
+						v := val(rng.Uint64())
+						h.Put(k, v)
+						local[k] = v
+					default:
+						got, ok := h.Get(k)
+						want, wok := local[k]
+						if ok != wok || (ok && got != want) {
+							t.Errorf("%s: Get(%d) = %v,%v want %v,%v", alg, k, got, ok, want, wok)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestServedBasic(t *testing.T) {
+	s := NewServed(64, 2, 2)
+	c0 := s.NewClient(0)
+	c1 := s.NewClient(1)
+	if !c0.Put(7, val(9)) {
+		t.Fatal("Put new key")
+	}
+	if v, ok := c1.Get(7); !ok || v != val(9) {
+		t.Fatalf("cross-client Get = %v, %v", v, ok)
+	}
+	if !c1.Remove(7) {
+		t.Fatal("Remove")
+	}
+	if _, ok := c0.Get(7); ok {
+		t.Fatal("Get after Remove")
+	}
+	c0.Close()
+}
+
+func TestServedConcurrentClients(t *testing.T) {
+	const nClients = 4
+	s := NewServed(32, 2, nClients)
+	var wg sync.WaitGroup
+	for cid := 0; cid < nClients; cid++ {
+		cid := cid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.NewClient(cid)
+			base := uint64(cid) << 40
+			for i := uint64(0); i < 200; i++ {
+				k := base + i%37
+				c.Put(k, val(i))
+				if v, ok := c.Get(k); !ok || v != val(i) {
+					t.Errorf("client %d: Get(%d) = %v, %v", cid, k, v, ok)
+				}
+				if i%5 == 0 {
+					c.Remove(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.NewClient(0).Close()
+}

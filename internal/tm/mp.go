@@ -1,0 +1,282 @@
+package tm
+
+import (
+	"fmt"
+	"runtime"
+
+	"ssync/internal/mp"
+	"ssync/internal/pad"
+	"ssync/internal/xrand"
+)
+
+// mpTM is the TM2C flavour: distributed two-phase locking over
+// message passing. Server goroutines own stripes (stripe i belongs to
+// server i % nServers); a client acquires read or write access to a
+// stripe with one round-trip and commits or aborts with one message per
+// involved server. A server that cannot grant access replies CONFLICT and
+// the client aborts the whole transaction — TM2C's immediate-abort
+// contention management.
+type mpTM struct {
+	n        int
+	nServers int
+	nClients int
+	net      *mp.Network
+	stopped  []chan struct{}
+	commits  pad.Uint64
+	aborts   pad.Uint64
+}
+
+// TM2C wire protocol opcodes.
+const (
+	mpRead uint64 = iota + 1
+	mpWrite
+	mpCommit
+	mpAbort
+	mpPeek
+	mpShutdown
+)
+
+// Server replies.
+const (
+	replyOK uint64 = iota + 1
+	replyConflict
+)
+
+// NewMessagePassing creates the message-passing TM with the given stripe,
+// server and client counts. Clients are identified by index; each index
+// may run transactions from exactly one goroutine at a time.
+func NewMessagePassing(nStripes, nServers, nClients int) *MPTM {
+	if nStripes <= 0 || nServers <= 0 || nClients <= 0 {
+		panic("tm: need positive stripes, servers and clients")
+	}
+	t := &mpTM{
+		n:        nStripes,
+		nServers: nServers,
+		nClients: nClients,
+		net:      mp.NewNetwork(nServers + nClients),
+		stopped:  make([]chan struct{}, nServers),
+	}
+	for s := 0; s < nServers; s++ {
+		t.stopped[s] = make(chan struct{})
+		go t.serve(s)
+	}
+	return &MPTM{tm: t}
+}
+
+// stripeLock is a server-side stripe's lock state.
+type stripeLock struct {
+	writer  int          // client holding the write lock (-1 none)
+	readers map[int]bool // clients holding read locks
+}
+
+// serve owns stripes i with i % nServers == id. All state is private to
+// this goroutine; mutual exclusion comes from partitioning.
+func (t *mpTM) serve(id int) {
+	defer close(t.stopped[id])
+	data := map[int]uint64{}
+	locks := map[int]*stripeLock{}
+	// Per-client buffered writes, applied at commit.
+	pending := map[int]map[int]uint64{}
+	lockOf := func(stripe int) *stripeLock {
+		l := locks[stripe]
+		if l == nil {
+			l = &stripeLock{writer: -1, readers: map[int]bool{}}
+			locks[stripe] = l
+		}
+		return l
+	}
+	releaseAll := func(client int) {
+		for stripe, l := range locks {
+			if l.writer == client {
+				l.writer = -1
+			}
+			delete(l.readers, client)
+			_ = stripe
+		}
+		delete(pending, client)
+	}
+	for {
+		from, req := t.net.RecvAny(id)
+		op, stripe := req.W[0], int(req.W[1])
+		switch op {
+		case mpRead:
+			l := lockOf(stripe)
+			if l.writer >= 0 && l.writer != from {
+				t.net.Send(id, from, mp.Msg{W: [7]uint64{replyConflict}})
+				continue
+			}
+			l.readers[from] = true
+			val := data[stripe]
+			if w, ok := pending[from][stripe]; ok {
+				val = w // read-your-writes
+			}
+			t.net.Send(id, from, mp.Msg{W: [7]uint64{replyOK, val}})
+		case mpWrite:
+			l := lockOf(stripe)
+			conflict := (l.writer >= 0 && l.writer != from)
+			if !conflict {
+				for r := range l.readers {
+					if r != from {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict {
+				t.net.Send(id, from, mp.Msg{W: [7]uint64{replyConflict}})
+				continue
+			}
+			l.writer = from
+			if pending[from] == nil {
+				pending[from] = map[int]uint64{}
+			}
+			pending[from][stripe] = req.W[2]
+			t.net.Send(id, from, mp.Msg{W: [7]uint64{replyOK}})
+		case mpCommit:
+			for stripe, v := range pending[from] {
+				data[stripe] = v
+			}
+			releaseAll(from)
+			t.net.Send(id, from, mp.Msg{W: [7]uint64{replyOK}})
+		case mpAbort:
+			releaseAll(from)
+			t.net.Send(id, from, mp.Msg{W: [7]uint64{replyOK}})
+		case mpPeek:
+			t.net.Send(id, from, mp.Msg{W: [7]uint64{replyOK, data[stripe]}})
+		case mpShutdown:
+			t.net.Send(id, from, mp.Msg{})
+			return
+		default:
+			panic(fmt.Sprintf("tm: server %d: bad opcode %d", id, op))
+		}
+	}
+}
+
+// MPTM is the public handle of the message-passing TM.
+type MPTM struct {
+	tm *mpTM
+}
+
+// Client binds a client index to a goroutine for running transactions.
+type Client struct {
+	tm  *mpTM
+	me  int
+	rng *xrand.Rand
+}
+
+// NewClient returns the transaction runner for client index id in
+// [0, nClients).
+func (t *MPTM) NewClient(id int) *Client {
+	if id < 0 || id >= t.tm.nClients {
+		panic(fmt.Sprintf("tm: client %d out of range [0,%d)", id, t.tm.nClients))
+	}
+	return &Client{tm: t.tm, me: t.tm.nServers + id, rng: xrand.New(uint64(id)*48271 + 11)}
+}
+
+// Stats returns cumulative commits and aborts across all clients.
+func (t *MPTM) Stats() (uint64, uint64) { return t.tm.commits.Load(), t.tm.aborts.Load() }
+
+// Peek reads a stripe non-transactionally (tests/diagnostics only).
+func (t *MPTM) Peek(i int) uint64 {
+	c := t.NewClient(0)
+	s := c.serverOf(i)
+	resp := t.tm.net.Call(c.me, s, mp.Msg{W: [7]uint64{mpPeek, uint64(i)}})
+	return resp.W[1]
+}
+
+// Close shuts down the servers. Call only after all clients are quiescent.
+func (t *MPTM) Close() {
+	c := t.NewClient(0)
+	for s := 0; s < t.tm.nServers; s++ {
+		t.tm.net.Call(c.me, s, mp.Msg{W: [7]uint64{mpShutdown}})
+		<-t.tm.stopped[s]
+	}
+}
+
+func (c *Client) serverOf(stripe int) int { return stripe % c.tm.nServers }
+
+// mpTx is one in-flight transaction.
+type mpTx struct {
+	c        *Client
+	involved map[int]bool // servers holding locks for us
+	reads    map[int]uint64
+}
+
+func (tx *mpTx) Read(i int) uint64 {
+	if i < 0 || i >= tx.c.tm.n {
+		panic(fmt.Sprintf("tm: stripe %d out of range [0,%d)", i, tx.c.tm.n))
+	}
+	if v, ok := tx.reads[i]; ok {
+		return v
+	}
+	s := tx.c.serverOf(i)
+	resp := tx.c.tm.net.Call(tx.c.me, s, mp.Msg{W: [7]uint64{mpRead, uint64(i)}})
+	if resp.W[0] != replyOK {
+		panic(conflictSignal{})
+	}
+	tx.involved[s] = true
+	tx.reads[i] = resp.W[1]
+	return resp.W[1]
+}
+
+func (tx *mpTx) Write(i int, v uint64) {
+	if i < 0 || i >= tx.c.tm.n {
+		panic(fmt.Sprintf("tm: stripe %d out of range [0,%d)", i, tx.c.tm.n))
+	}
+	s := tx.c.serverOf(i)
+	resp := tx.c.tm.net.Call(tx.c.me, s, mp.Msg{W: [7]uint64{mpWrite, uint64(i), v}})
+	if resp.W[0] != replyOK {
+		panic(conflictSignal{})
+	}
+	tx.involved[s] = true
+	tx.reads[i] = v // read-your-writes locally too
+}
+
+// finish sends commit or abort to every involved server.
+func (tx *mpTx) finish(op uint64) {
+	for s := range tx.involved {
+		tx.c.tm.net.Call(tx.c.me, s, mp.Msg{W: [7]uint64{op}})
+	}
+}
+
+// Run executes fn transactionally from this client, retrying on conflict.
+func (c *Client) Run(fn func(Tx) error) error {
+	backoff := 1
+	for {
+		err := c.attempt(fn)
+		if err == nil {
+			c.tm.commits.Add(1)
+			return nil
+		}
+		c.tm.aborts.Add(1)
+		if err != errConflict {
+			return err
+		}
+		for i := 0; i < backoff+int(c.rng.Uint64()%8); i++ {
+			runtime.Gosched()
+		}
+		if backoff < 64 {
+			backoff *= 2
+		}
+	}
+}
+
+func (c *Client) attempt(fn func(Tx) error) (err error) {
+	tx := &mpTx{c: c, involved: map[int]bool{}, reads: map[int]uint64{}}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); ok {
+				tx.finish(mpAbort)
+				err = errConflict
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.finish(mpAbort)
+		return err
+	}
+	tx.finish(mpCommit)
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package tm is the native Go implementation of TM2C [16], the paper's
+// software transactional memory for many-cores, in its two flavours:
+//
+//   - NewMessagePassing: the TM2C design proper — distributed two-phase
+//     locking where server goroutines own stripes of transactional memory
+//     and clients acquire read/write access via one-cache-line messages
+//     (built on internal/mp, as TM2C is built on libssmp). Conflicts abort
+//     immediately (TM2C's contention manager) and the client retries with
+//     randomized back-off.
+//
+//   - NewLockBased: the shared-memory version built with the spin locks of
+//     libslock — here a TL2-style design: per-stripe versioned write
+//     locks, invisible readers with commit-time validation, and a global
+//     version clock.
+//
+// Both flavours expose word-granularity transactions over a fixed array
+// of stripes, executed through Run, which retries aborted transactions.
+package tm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ssync/internal/pad"
+	"ssync/internal/xrand"
+)
+
+// Tx is the transactional context passed to the user function. Reads and
+// writes outside Run's function are undefined.
+type Tx interface {
+	// Read returns the value of stripe i within the transaction.
+	Read(i int) uint64
+	// Write buffers v into stripe i; it becomes visible on commit.
+	Write(i int, v uint64)
+}
+
+// Runner executes transactions.
+type Runner interface {
+	// Run executes fn transactionally, retrying on conflicts, and returns
+	// fn's error (after aborting) if it is non-nil.
+	Run(fn func(Tx) error) error
+	// Stats returns cumulative commit and abort counts.
+	Stats() (commits, aborts uint64)
+}
+
+// errConflict aborts a transaction internally.
+var errConflict = errors.New("tm: conflict")
+
+// conflictSignal unwinds the user function on a mid-transaction conflict.
+type conflictSignal struct{}
+
+// lockTM is the TL2-style shared-memory flavour.
+type lockTM struct {
+	n       int
+	vlocks  []pad.Uint64 // version<<1 | locked
+	data    []pad.Uint64
+	clock   pad.Uint64
+	commits pad.Uint64
+	aborts  pad.Uint64
+}
+
+// NewLockBased creates a shared-memory TM over n stripes.
+func NewLockBased(n int) Runner {
+	if n <= 0 {
+		panic("tm: need at least one stripe")
+	}
+	return &lockTM{n: n, vlocks: make([]pad.Uint64, n), data: make([]pad.Uint64, n)}
+}
+
+// Peek reads a stripe non-transactionally (tests/diagnostics only).
+func (t *lockTM) Peek(i int) uint64 { return t.data[i].Load() }
+
+type lockTx struct {
+	tm     *lockTM
+	reads  []readEntry
+	writes map[int]uint64
+}
+
+type readEntry struct {
+	stripe  int
+	version uint64
+}
+
+func (tx *lockTx) Read(i int) uint64 {
+	tx.check(i)
+	if v, ok := tx.writes[i]; ok {
+		return v
+	}
+	v1 := tx.tm.vlocks[i].Load()
+	if v1&1 != 0 {
+		panic(conflictSignal{})
+	}
+	val := tx.tm.data[i].Load()
+	if tx.tm.vlocks[i].Load() != v1 {
+		panic(conflictSignal{})
+	}
+	tx.reads = append(tx.reads, readEntry{i, v1})
+	return val
+}
+
+func (tx *lockTx) Write(i int, v uint64) {
+	tx.check(i)
+	tx.writes[i] = v
+}
+
+func (tx *lockTx) check(i int) {
+	if i < 0 || i >= tx.tm.n {
+		panic(fmt.Sprintf("tm: stripe %d out of range [0,%d)", i, tx.tm.n))
+	}
+}
+
+// commit locks the write set, validates the read set and publishes.
+func (tx *lockTx) commit() error {
+	t := tx.tm
+	var locked []int
+	release := func(newVersion uint64, upTo int) {
+		for _, i := range locked[:upTo] {
+			if newVersion != 0 {
+				t.vlocks[i].Store(newVersion)
+			} else {
+				t.vlocks[i].Store(t.vlocks[i].Load() &^ 1)
+			}
+		}
+	}
+	for i := range tx.writes {
+		v := t.vlocks[i].Load()
+		if v&1 != 0 || !t.vlocks[i].CompareAndSwap(v, v|1) {
+			release(0, len(locked))
+			return errConflict
+		}
+		locked = append(locked, i)
+	}
+	// Validate reads: version unchanged and not locked by another tx.
+	for _, r := range tx.reads {
+		v := t.vlocks[r.stripe].Load()
+		if v&^1 != r.version {
+			release(0, len(locked))
+			return errConflict
+		}
+		if v&1 != 0 {
+			if _, mine := tx.writes[r.stripe]; !mine {
+				release(0, len(locked))
+				return errConflict
+			}
+		}
+	}
+	wv := t.clock.Add(1) << 1
+	for i, val := range tx.writes {
+		t.data[i].Store(val)
+	}
+	release(wv, len(locked))
+	return nil
+}
+
+// seedCounter gives each Run invocation its own deterministic back-off
+// stream.
+var seedCounter atomic.Uint64
+
+func (t *lockTM) Run(fn func(Tx) error) error {
+	rng := xrand.New(seedCounter.Add(1) * 0x9e3779b97f4a7c15)
+	backoff := 1
+	for {
+		err := t.attempt(fn)
+		if err == nil {
+			t.commits.Add(1)
+			return nil
+		}
+		if err != errConflict {
+			t.aborts.Add(1)
+			return err
+		}
+		t.aborts.Add(1)
+		for i := 0; i < backoff+int(rng.Uint64()%8); i++ {
+			runtime.Gosched()
+		}
+		if backoff < 64 {
+			backoff *= 2
+		}
+	}
+}
+
+// attempt runs fn once; conflictSignal panics become errConflict.
+func (t *lockTM) attempt(fn func(Tx) error) (err error) {
+	tx := &lockTx{tm: t, writes: make(map[int]uint64)}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); ok {
+				err = errConflict
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		return err
+	}
+	return tx.commit()
+}
+
+func (t *lockTM) Stats() (uint64, uint64) { return t.commits.Load(), t.aborts.Load() }

@@ -1,0 +1,232 @@
+package tm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ssync/internal/xrand"
+)
+
+// bankLock runs concurrent random transfers on the lock-based TM and
+// checks conservation of money — the canonical serializability smoke test.
+func TestBankLockBased(t *testing.T) {
+	const accounts, perAccount = 32, 1000
+	tmr := NewLockBased(accounts).(*lockTM)
+	// Fund the accounts.
+	if err := tmr.Run(func(tx Tx) error {
+		for i := 0; i < accounts; i++ {
+			tx.Write(i, perAccount)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const nG, transfers = 8, 400
+	for g := 0; g < nG; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := xrand.New(uint64(g) + 99)
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				amount := rng.Uint64() % 10
+				err := tmr.Run(func(tx Tx) error {
+					f := tx.Read(from)
+					if f < amount {
+						return nil // insufficient funds: no-op commit
+					}
+					tx.Write(from, f-amount)
+					tx.Write(to, tx.Read(to)+amount)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("transfer failed: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += tmr.Peek(i)
+	}
+	if total != accounts*perAccount {
+		t.Fatalf("money not conserved: %d, want %d", total, accounts*perAccount)
+	}
+	commits, aborts := tmr.Stats()
+	if commits < nG*transfers {
+		t.Errorf("commits = %d, want ≥ %d", commits, nG*transfers)
+	}
+	t.Logf("lock-based: %d commits, %d aborts", commits, aborts)
+}
+
+func TestBankMessagePassing(t *testing.T) {
+	const accounts, perAccount = 16, 500
+	const nClients = 4
+	tmr := NewMessagePassing(accounts, 2, nClients)
+	defer tmr.Close()
+	init := tmr.NewClient(0)
+	if err := init.Run(func(tx Tx) error {
+		for i := 0; i < accounts; i++ {
+			tx.Write(i, perAccount)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const transfers = 200
+	for cid := 0; cid < nClients; cid++ {
+		cid := cid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := tmr.NewClient(cid)
+			rng := xrand.New(uint64(cid)*7 + 3)
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				amount := rng.Uint64() % 5
+				err := c.Run(func(tx Tx) error {
+					f := tx.Read(from)
+					if f < amount {
+						return nil
+					}
+					tx.Write(from, f-amount)
+					tx.Write(to, tx.Read(to)+amount)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", cid, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += tmr.Peek(i)
+	}
+	if total != accounts*perAccount {
+		t.Fatalf("money not conserved: %d, want %d", total, accounts*perAccount)
+	}
+	commits, aborts := tmr.Stats()
+	t.Logf("mp: %d commits, %d aborts", commits, aborts)
+	if commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	tmr := NewLockBased(4)
+	err := tmr.Run(func(tx Tx) error {
+		tx.Write(1, 42)
+		if got := tx.Read(1); got != 42 {
+			t.Errorf("read-your-writes: got %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mptm := NewMessagePassing(4, 1, 1)
+	defer mptm.Close()
+	c := mptm.NewClient(0)
+	err = c.Run(func(tx Tx) error {
+		tx.Write(2, 7)
+		if got := tx.Read(2); got != 7 {
+			t.Errorf("mp read-your-writes: got %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	tmr := NewLockBased(2).(*lockTM)
+	if err := tmr.Run(func(tx Tx) error {
+		tx.Write(0, 99)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if tmr.Peek(0) != 0 {
+		t.Fatal("aborted write became visible")
+	}
+
+	mptm := NewMessagePassing(2, 1, 1)
+	defer mptm.Close()
+	c := mptm.NewClient(0)
+	if err := c.Run(func(tx Tx) error {
+		tx.Write(0, 99)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("mp error not propagated: %v", err)
+	}
+	if mptm.Peek(0) != 0 {
+		t.Fatal("mp aborted write became visible")
+	}
+}
+
+func TestIsolationNoDirtyReads(t *testing.T) {
+	// A long-running writer must never expose intermediate state: stripes
+	// 0 and 1 always change together.
+	tmr := NewLockBased(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tmr.Run(func(tx Tx) error {
+				tx.Write(0, i)
+				tx.Write(1, i)
+				return nil
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 3000; k++ {
+			var a, b uint64
+			_ = tmr.Run(func(tx Tx) error {
+				a = tx.Read(0)
+				b = tx.Read(1)
+				return nil
+			})
+			if a != b {
+				t.Errorf("dirty read: stripes diverged (%d, %d)", a, b)
+				break
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}
+
+func TestStripeRangePanics(t *testing.T) {
+	tmr := NewLockBased(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range stripe must panic")
+		}
+	}()
+	_ = tmr.Run(func(tx Tx) error {
+		tx.Read(5)
+		return nil
+	})
+}
