@@ -2,45 +2,13 @@
 // cache-coherence protocol for loads, stores and atomic operations as a
 // function of MESI state and distance, on each simulated platform.
 //
+// It is a thin wrapper over `ssync ccbench`.
+//
 // Usage:
 //
 //	ccbench [-platform Opteron,Xeon,Niagara,Tilera] [-reps N] [-local] [-cases]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strings"
+import "ssync/internal/cli"
 
-	"ssync/internal/arch"
-	"ssync/internal/bench"
-	"ssync/internal/ccbench"
-)
-
-func main() {
-	platforms := flag.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
-	reps := flag.Int("reps", 5, "repetitions per case (fresh line each)")
-	local := flag.Bool("local", false, "print only Table 3 (local latencies)")
-	cases := flag.Bool("cases", false, "list the supported microbenchmark cases and exit")
-	flag.Parse()
-
-	for _, name := range strings.Split(*platforms, ",") {
-		p := arch.ByName(strings.TrimSpace(name))
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "ccbench: unknown platform %q (have %v)\n", name, arch.Names())
-			os.Exit(2)
-		}
-		if *cases {
-			fmt.Printf("%s: %d cases\n", p.Name, len(ccbench.Cases(p)))
-			for _, c := range ccbench.Cases(p) {
-				fmt.Printf("  %s\n", c)
-			}
-			continue
-		}
-		fmt.Println(bench.FormatTable3(p))
-		if !*local {
-			fmt.Println(bench.FormatTable2(p, *reps))
-		}
-	}
-}
+func main() { cli.Run(cli.CcbenchMain) }

@@ -2,65 +2,13 @@
 // per-experiment index of DESIGN.md — and writes the report to stdout or a
 // file. This is the tool that produced EXPERIMENTS.md's measured values.
 //
+// It is a thin wrapper over `ssync figures`.
+//
 // Usage:
 //
 //	figures [-id F5] [-platform Xeon] [-o report.md] [-quick]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"io"
-	"os"
+import "ssync/internal/cli"
 
-	"ssync/internal/bench"
-	"ssync/internal/core"
-)
-
-func main() {
-	id := flag.String("id", "", "run a single experiment id (default: all)")
-	platform := flag.String("platform", "", "restrict to one platform model")
-	out := flag.String("o", "", "write the report to a file instead of stdout")
-	quick := flag.Bool("quick", false, "shorter simulated runs (noisier, much faster)")
-	flag.Parse()
-
-	cfg := bench.DefaultConfig()
-	if *quick {
-		cfg = bench.Config{Deadline: 80_000, LatencyOps: 40, Reps: 2}
-	}
-
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-
-	exps := core.Experiments()
-	if *id != "" {
-		e, err := core.ByID(*id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(2)
-		}
-		exps = []core.Experiment{e}
-	}
-
-	fmt.Fprintf(w, "%s — regenerated evaluation\n\n", core.Version)
-	for _, e := range exps {
-		fmt.Fprintf(w, "== %s: %s ==\n\n", e.ID, e.Title)
-		for _, pn := range e.Platforms {
-			if *platform != "" && pn != *platform {
-				continue
-			}
-			if err := e.Run(w, pn, cfg); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %s on %s: %v\n", e.ID, pn, err)
-				os.Exit(1)
-			}
-		}
-	}
-}
+func main() { cli.Run(cli.FiguresMain) }

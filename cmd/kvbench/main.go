@@ -2,48 +2,13 @@
 // under the set-only memslap workload with different lock algorithms, and
 // the §6.4 get-only control where the lock choice is irrelevant.
 //
+// It is a thin wrapper over `ssync kvbench`.
+//
 // Usage:
 //
 //	kvbench [-platform list] [-test set|get] [-native]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strings"
+import "ssync/internal/cli"
 
-	"ssync/internal/arch"
-	"ssync/internal/bench"
-	"ssync/internal/kvs"
-	"ssync/internal/locks"
-)
-
-func main() {
-	platforms := flag.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
-	test := flag.String("test", "set", "workload: set (write-heavy) or get (read-only)")
-	native := flag.Bool("native", false, "also drive the native Go store with real goroutines")
-	flag.Parse()
-
-	get := *test == "get"
-	cfg := bench.DefaultConfig()
-	for _, name := range strings.Split(*platforms, ",") {
-		p := arch.ByName(strings.TrimSpace(name))
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "kvbench: unknown platform %q (have %v)\n", name, arch.Names())
-			os.Exit(2)
-		}
-		fmt.Println(bench.FormatFigure12(p, bench.Figure12(p, get, cfg)))
-	}
-	if *native {
-		fmt.Println("native store (real goroutines on this host):")
-		for _, alg := range []locks.Algorithm{locks.MUTEX, locks.TAS, locks.TICKET, locks.MCS} {
-			s := kvs.New(kvs.Options{Lock: alg, Shards: 64})
-			w := kvs.DefaultWorkload(!get)
-			w.Clients = 4
-			w.OpsPerClient = 20000
-			res := kvs.Run(s, w)
-			fmt.Printf("  %-8s %s\n", alg, res)
-		}
-	}
-}
+func main() { cli.Run(cli.KvbenchMain) }

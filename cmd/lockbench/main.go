@@ -3,58 +3,13 @@
 // lock), Figure 6 (uncontested acquisition by distance), Figure 7 (512
 // locks) and Figure 8 (best lock per contention level).
 //
+// It is a thin wrapper over `ssync lockbench`.
+//
 // Usage:
 //
 //	lockbench -fig {3|4|5|6|7|8} [-platform list] [-deadline cycles]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strings"
+import "ssync/internal/cli"
 
-	"ssync/internal/arch"
-	"ssync/internal/bench"
-)
-
-func main() {
-	fig := flag.Int("fig", 5, "figure to regenerate: 3, 4, 5, 6, 7 or 8")
-	platforms := flag.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
-	deadline := flag.Uint64("deadline", 0, "simulated cycles per configuration (0 = default)")
-	flag.Parse()
-
-	cfg := bench.DefaultConfig()
-	if *deadline > 0 {
-		cfg.Deadline = *deadline
-	}
-
-	if *fig == 3 {
-		fmt.Println(bench.FormatFigure(bench.Figure3(cfg)))
-		return
-	}
-	for _, name := range strings.Split(*platforms, ",") {
-		p := arch.ByName(strings.TrimSpace(name))
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown platform %q (have %v)\n", name, arch.Names())
-			os.Exit(2)
-		}
-		switch *fig {
-		case 4:
-			fmt.Println(bench.FormatFigure(bench.Figure4(p, cfg)))
-		case 5:
-			fmt.Println(bench.FormatFigure(bench.Figure5(p, cfg)))
-		case 6:
-			fmt.Println(bench.FormatFigure6(p, bench.Figure6(p, cfg)))
-		case 7:
-			fmt.Println(bench.FormatFigure(bench.Figure7(p, cfg)))
-		case 8:
-			for _, nLocks := range []int{4, 16, 32, 128} {
-				fmt.Println(bench.FormatFigure8(p, nLocks, bench.Figure8(p, nLocks, cfg)))
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "lockbench: no figure %d (have 3-8)\n", *fig)
-			os.Exit(2)
-		}
-	}
-}
+func main() { cli.Run(cli.LockbenchMain) }

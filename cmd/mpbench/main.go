@@ -2,48 +2,13 @@
 // (one-to-one latency by distance), Figure 10 (client-server throughput)
 // and the §5.3 prefetchw ablation.
 //
+// It is a thin wrapper over `ssync mpbench`.
+//
 // Usage:
 //
 //	mpbench -fig {9|10} [-platform list] [-prefetchw]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strings"
+import "ssync/internal/cli"
 
-	"ssync/internal/arch"
-	"ssync/internal/bench"
-)
-
-func main() {
-	fig := flag.Int("fig", 9, "figure to regenerate: 9 or 10")
-	platforms := flag.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
-	prefetchw := flag.Bool("prefetchw", false, "run the §5.3 Opteron prefetchw ablation instead")
-	flag.Parse()
-
-	cfg := bench.DefaultConfig()
-	if *prefetchw {
-		a := bench.AblationMPPrefetchw(cfg)
-		fmt.Printf("Opteron message-passing round-trip: %.0f cycles with prefetchw, %.0f without (%.2fx)\n",
-			a.On, a.Off, a.Off/a.On)
-		return
-	}
-	for _, name := range strings.Split(*platforms, ",") {
-		p := arch.ByName(strings.TrimSpace(name))
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "mpbench: unknown platform %q (have %v)\n", name, arch.Names())
-			os.Exit(2)
-		}
-		switch *fig {
-		case 9:
-			fmt.Println(bench.FormatFigure9(p, bench.Figure9(p, cfg)))
-		case 10:
-			fmt.Println(bench.FormatFigure(bench.Figure10(p, cfg)))
-		default:
-			fmt.Fprintf(os.Stderr, "mpbench: no figure %d (have 9, 10)\n", *fig)
-			os.Exit(2)
-		}
-	}
-}
+func main() { cli.Run(cli.MpbenchMain) }

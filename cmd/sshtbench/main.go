@@ -2,61 +2,13 @@
 // every lock algorithm and the message-passing mode, across the four
 // buckets × entries configurations.
 //
+// It is a thin wrapper over `ssync sshtbench`.
+//
 // Usage:
 //
 //	sshtbench [-platform list] [-buckets 12,512] [-entries 12,48]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strconv"
-	"strings"
+import "ssync/internal/cli"
 
-	"ssync/internal/arch"
-	"ssync/internal/bench"
-)
-
-func intList(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func main() {
-	platforms := flag.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
-	buckets := flag.String("buckets", "12,512", "bucket counts")
-	entries := flag.String("entries", "12,48", "entries per bucket")
-	flag.Parse()
-
-	bs, err := intList(*buckets)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sshtbench: bad -buckets:", err)
-		os.Exit(2)
-	}
-	es, err := intList(*entries)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sshtbench: bad -entries:", err)
-		os.Exit(2)
-	}
-	cfg := bench.DefaultConfig()
-	for _, name := range strings.Split(*platforms, ",") {
-		p := arch.ByName(strings.TrimSpace(name))
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "sshtbench: unknown platform %q (have %v)\n", name, arch.Names())
-			os.Exit(2)
-		}
-		for _, b := range bs {
-			for _, e := range es {
-				fmt.Println(bench.FormatFigure11(p, b, e, bench.Figure11(p, b, e, cfg)))
-			}
-		}
-	}
-}
+func main() { cli.Run(cli.SshtbenchMain) }

@@ -2,79 +2,13 @@
 // message-passing design versus the lock-based variant, under high and
 // low contention — the outcome mirrors the hash table of Figure 11.
 //
+// It is a thin wrapper over `ssync tmbench`.
+//
 // Usage:
 //
 //	tmbench [-platform list] [-stripes 8,1024] [-native]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strconv"
-	"strings"
-	"sync"
+import "ssync/internal/cli"
 
-	"ssync/internal/arch"
-	"ssync/internal/bench"
-	"ssync/internal/tm"
-	"ssync/internal/xrand"
-)
-
-func main() {
-	platforms := flag.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
-	stripes := flag.String("stripes", "8,1024", "stripe counts (contention levels)")
-	native := flag.Bool("native", false, "also run the native TM bank workload on this host")
-	flag.Parse()
-
-	cfg := bench.DefaultConfig()
-	for _, name := range strings.Split(*platforms, ",") {
-		p := arch.ByName(strings.TrimSpace(name))
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "tmbench: unknown platform %q (have %v)\n", name, arch.Names())
-			os.Exit(2)
-		}
-		for _, f := range strings.Split(*stripes, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "tmbench: bad -stripes:", err)
-				os.Exit(2)
-			}
-			fmt.Printf("TM on %s, %d stripes:\n", p.Name, n)
-			for _, r := range bench.TMExperiment(p, n, cfg) {
-				fmt.Printf("  %2d threads: locks %7.3f Mops/s   mp %7.3f Mops/s\n", r.Threads, r.LockMops, r.MPMops)
-			}
-			fmt.Println()
-		}
-	}
-	if *native {
-		fmt.Println("native lock-based TM, bank workload (real goroutines):")
-		runner := tm.NewLockBased(64)
-		var wg sync.WaitGroup
-		for g := 0; g < 4; g++ {
-			g := g
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				rng := xrand.New(uint64(g) + 1)
-				for i := 0; i < 20000; i++ {
-					from, to := rng.Intn(64), rng.Intn(64)
-					_ = runner.Run(func(tx tm.Tx) error {
-						f := tx.Read(from)
-						if f == 0 {
-							tx.Write(from, 100)
-							return nil
-						}
-						tx.Write(from, f-1)
-						tx.Write(to, tx.Read(to)+1)
-						return nil
-					})
-				}
-			}()
-		}
-		wg.Wait()
-		commits, aborts := runner.Stats()
-		fmt.Printf("  %d commits, %d aborts (%.1f%% abort rate)\n",
-			commits, aborts, 100*float64(aborts)/float64(commits+aborts))
-	}
-}
+func main() { cli.Run(cli.TmbenchMain) }

@@ -3,72 +3,13 @@
 // latencies — a quick way to inspect what "Opteron" or "Tilera" means in
 // every figure of this repository.
 //
+// It is a thin wrapper over `ssync topology`.
+//
 // Usage:
 //
 //	topology [-platform Opteron]
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strings"
+import "ssync/internal/cli"
 
-	"ssync/internal/arch"
-)
-
-func main() {
-	platforms := flag.String("platform", strings.Join(arch.Names(), ","), "comma-separated platform models")
-	flag.Parse()
-
-	for _, name := range strings.Split(*platforms, ",") {
-		p := arch.ByName(strings.TrimSpace(name))
-		if p == nil {
-			fmt.Fprintf(os.Stderr, "topology: unknown platform %q (have %v)\n", name, arch.Names())
-			os.Exit(2)
-		}
-		fmt.Printf("%s — %d cores, %d memory nodes, %.2f GHz\n", p.Name, p.NumCores, p.NumNodes, p.ClockGHz)
-		fmt.Printf("  local latencies: L1 %d, L2 %d, LLC %d, RAM %d cycles\n", p.L1, p.L2, p.LLC, p.RAM)
-		fmt.Printf("  distance classes: %s\n", strings.Join(p.DistNames, ", "))
-		var quirks []string
-		if p.IncompleteDirectory {
-			quirks = append(quirks, "incomplete probe filter (MOESI, broadcast on shared stores)")
-		}
-		if p.InclusiveLLC {
-			quirks = append(quirks, "inclusive LLC (intra-socket locality)")
-		}
-		if p.Uniform {
-			quirks = append(quirks, "uniform crossbar LLC")
-		}
-		if p.HardwareMP {
-			quirks = append(quirks, "hardware message passing (iMesh)")
-		}
-		if len(quirks) > 0 {
-			fmt.Printf("  quirks: %s\n", strings.Join(quirks, "; "))
-		}
-		// Node-distance matrix via one representative core per node.
-		var reps []int
-		seen := map[int]bool{}
-		for c := 0; c < p.NumCores && len(reps) < p.NumNodes; c++ {
-			if n := p.NodeOf(c); !seen[n] {
-				seen[n] = true
-				reps = append(reps, c)
-			}
-		}
-		if p.NumNodes > 1 {
-			fmt.Printf("  node distance classes (via representative cores):\n      ")
-			for j := range reps {
-				fmt.Printf("%4d", j)
-			}
-			fmt.Println()
-			for i, a := range reps {
-				fmt.Printf("  %4d", i)
-				for _, b := range reps {
-					fmt.Printf("%4d", p.DistClass(a, b))
-				}
-				fmt.Println()
-			}
-		}
-		fmt.Println()
-	}
-}
+func main() { cli.Run(cli.TopologyMain) }

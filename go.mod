@@ -1,0 +1,3 @@
+module ssync
+
+go 1.21

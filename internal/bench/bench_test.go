@@ -104,6 +104,9 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-lock sweep across the full thread grid")
+	}
 	// Very low contention: simple locks match or beat the queue locks
 	// (paper: "it is generally the ticket lock that performs the best" on
 	// the Opteron/Niagara/Tilera), and single-sockets scale.
@@ -151,6 +154,9 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestFigure8BestLockVaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two platforms × two lock counts × full algorithm set")
+	}
 	// "Every locking scheme has its fifteen minutes of fame": across
 	// platforms and contention levels, more than one algorithm must win.
 	winners := map[simlocks.Alg]bool{}
@@ -185,6 +191,9 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("client sweep up to the full core count on two platforms")
+	}
 	// A single server saturates: throughput reaches a bound and stays
 	// there; the Tilera (hardware MP) reaches the highest bound.
 	til := Figure10(arch.Tilera(), quickCfg)
@@ -202,6 +211,9 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two buckets×entries panels across the full algorithm set")
+	}
 	// High contention (12 buckets): message passing beats the best lock at
 	// scale on the Opteron; low contention (512): locks win everywhere.
 	p := arch.Opteron()

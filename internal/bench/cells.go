@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"ssync/internal/arch"
+	"ssync/internal/simlocks"
+)
+
+// This file exports the per-cell runners behind the figures: one
+// (platform, thread-count) measurement each, the granularity the
+// internal/harness shard grid executes. The FigureN sweeps above are thin
+// loops over these.
+
+// AtomicThroughput measures one Figure 4 cell: the throughput of a single
+// atomic operation ("CAS", "TAS", "CAS based FAI", "SWAP" or "FAI")
+// hammered by nThreads threads, in Mops/s.
+func AtomicThroughput(p *arch.Platform, op string, nThreads int, cfg Config) float64 {
+	return atomicStress(p, op, nThreads, cfg.orDefault())
+}
+
+// TicketLatency measures one Figure 3 cell: the mean acquire+release
+// latency (queue wait included) of a ticket-lock variant, in cycles.
+func TicketLatency(p *arch.Platform, opt simlocks.Options, nThreads int, cfg Config) float64 {
+	return ticketLatency(p, opt, nThreads, cfg.orDefault())
+}
+
+// SSHTLockThroughput measures one Figure 11 cell for a lock algorithm, in
+// Mops/s.
+func SSHTLockThroughput(p *arch.Platform, alg simlocks.Alg, nThreads, nBuckets, entries int, cfg Config) float64 {
+	return sshtLockRun(p, alg, nThreads, nBuckets, entries, cfg)
+}
+
+// SSHTMPThroughput measures one Figure 11 cell for the message-passing
+// table, in Mops/s.
+func SSHTMPThroughput(p *arch.Platform, nThreads, nBuckets, entries int, cfg Config) float64 {
+	return sshtMPRun(p, nThreads, nBuckets, entries, cfg)
+}
+
+// TMLockThroughput measures one §8 TM cell for the lock-based flavour, in
+// Mops/s.
+func TMLockThroughput(p *arch.Platform, nThreads, nStripes int, cfg Config) float64 {
+	return tmLockRun(p, nThreads, nStripes, cfg.orDefault())
+}
+
+// TMMPThroughput measures one §8 TM cell for the message-passing flavour,
+// in Mops/s.
+func TMMPThroughput(p *arch.Platform, nThreads, nStripes int, cfg Config) float64 {
+	return tmMPRun(p, nThreads, nStripes, cfg.orDefault())
+}
+
+// KVSThroughput measures one Figure 12 cell: the modelled memcached under
+// a lock algorithm, in Kops/s. get selects the §6.4 get-only control.
+func KVSThroughput(p *arch.Platform, alg simlocks.Alg, nThreads int, get bool, cfg Config) float64 {
+	return kvsRun(p, alg, nThreads, defaultKVSParams(!get), cfg.orDefault())
+}
+
+// MPClientServer measures one Figure 10 cell: total message throughput of
+// one server and nClients clients, in both modes, in Mops/s.
+func MPClientServer(p *arch.Platform, nClients int, cfg Config) (oneWay, roundTrip float64) {
+	return clientServer(p, nClients, cfg.orDefault())
+}
+
+// RCLThroughput measures one §7 RCL cell: one dedicated server executing
+// the hot critical section on behalf of nThreads-1 clients, in Mops/s.
+func RCLThroughput(p *arch.Platform, nThreads int, cfg Config) float64 {
+	return rclRun(p, nThreads, cfg.orDefault())
+}

@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"ssync/internal/bench"
+	"ssync/internal/ccbench"
+)
+
+// CcbenchMain regenerates the paper's Tables 2 and 3: the latencies of
+// the cache-coherence protocol for loads, stores and atomic operations as
+// a function of MESI state and distance, on each simulated platform.
+func CcbenchMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platforms := fs.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
+	reps := fs.Int("reps", 5, "repetitions per case (fresh line each)")
+	local := fs.Bool("local", false, "print only Table 3 (local latencies)")
+	cases := fs.Bool("cases", false, "list the supported microbenchmark cases and exit")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	for _, name := range splitList(*platforms) {
+		p, code := platformOrExit("ccbench", name, stderr)
+		if p == nil {
+			return code
+		}
+		if *cases {
+			fmt.Fprintf(stdout, "%s: %d cases\n", p.Name, len(ccbench.Cases(p)))
+			for _, c := range ccbench.Cases(p) {
+				fmt.Fprintf(stdout, "  %s\n", c)
+			}
+			continue
+		}
+		fmt.Fprintln(stdout, bench.FormatTable3(p))
+		if !*local {
+			fmt.Fprintln(stdout, bench.FormatTable2(p, *reps))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ssync/internal/bench"
+	"ssync/internal/core"
+)
+
+// FiguresMain regenerates every table and figure of the paper in one run
+// — the per-experiment index of DESIGN.md — and writes the report to
+// stdout or a file. This is the tool that produces the measured values.
+func FiguresMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	id := fs.String("id", "", "run a single experiment id (default: all)")
+	platform := fs.String("platform", "", "restrict to one platform model")
+	out := fs.String("o", "", "write the report to a file instead of stdout")
+	quick := fs.Bool("quick", false, "shorter simulated runs (noisier, much faster)")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.Config{Deadline: 80_000, LatencyOps: 40, Reps: 2}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	exps := core.Experiments()
+	if *id != "" {
+		e, err := core.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 2
+		}
+		exps = []core.Experiment{e}
+	}
+
+	fmt.Fprintf(w, "%s — regenerated evaluation\n\n", core.Version)
+	for _, e := range exps {
+		fmt.Fprintf(w, "== %s: %s ==\n\n", e.ID, e.Title)
+		for _, pn := range e.Platforms {
+			if *platform != "" && pn != *platform {
+				continue
+			}
+			if err := e.Run(w, pn, cfg); err != nil {
+				fmt.Fprintf(stderr, "figures: %s on %s: %v\n", e.ID, pn, err)
+				return 1
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"ssync/internal/bench"
+	"ssync/internal/kvs"
+	"ssync/internal/locks"
+)
+
+// KvbenchMain regenerates Figure 12: the Memcached-style key-value store
+// under the set-only memslap workload with different lock algorithms, and
+// the §6.4 get-only control where the lock choice is irrelevant.
+func KvbenchMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kvbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platforms := fs.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
+	test := fs.String("test", "set", "workload: set (write-heavy) or get (read-only)")
+	native := fs.Bool("native", false, "also drive the native Go store with real goroutines")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	get := *test == "get"
+	cfg := bench.DefaultConfig()
+	for _, name := range splitList(*platforms) {
+		p, code := platformOrExit("kvbench", name, stderr)
+		if p == nil {
+			return code
+		}
+		fmt.Fprintln(stdout, bench.FormatFigure12(p, bench.Figure12(p, get, cfg)))
+	}
+	if *native {
+		fmt.Fprintln(stdout, "native store (real goroutines on this host):")
+		for _, alg := range []locks.Algorithm{locks.MUTEX, locks.TAS, locks.TICKET, locks.MCS} {
+			s := kvs.New(kvs.Options{Lock: alg, Shards: 64})
+			w := kvs.DefaultWorkload(!get)
+			w.Clients = 4
+			w.OpsPerClient = 20000
+			res := kvs.Run(s, w)
+			fmt.Fprintf(stdout, "  %-8s %s\n", alg, res)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"ssync/internal/bench"
+)
+
+// LockbenchMain regenerates the paper's lock experiments: Figure 3
+// (ticket lock implementations), Figure 4 (atomic operations), Figure 5
+// (single lock), Figure 6 (uncontested acquisition by distance), Figure 7
+// (512 locks) and Figure 8 (best lock per contention level).
+func LockbenchMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lockbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 5, "figure to regenerate: 3, 4, 5, 6, 7 or 8")
+	platforms := fs.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
+	deadline := fs.Uint64("deadline", 0, "simulated cycles per configuration (0 = default)")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	cfg := bench.DefaultConfig()
+	if *deadline > 0 {
+		cfg.Deadline = *deadline
+	}
+
+	if *fig == 3 {
+		fmt.Fprintln(stdout, bench.FormatFigure(bench.Figure3(cfg)))
+		return 0
+	}
+	for _, name := range splitList(*platforms) {
+		p, code := platformOrExit("lockbench", name, stderr)
+		if p == nil {
+			return code
+		}
+		switch *fig {
+		case 4:
+			fmt.Fprintln(stdout, bench.FormatFigure(bench.Figure4(p, cfg)))
+		case 5:
+			fmt.Fprintln(stdout, bench.FormatFigure(bench.Figure5(p, cfg)))
+		case 6:
+			fmt.Fprintln(stdout, bench.FormatFigure6(p, bench.Figure6(p, cfg)))
+		case 7:
+			fmt.Fprintln(stdout, bench.FormatFigure(bench.Figure7(p, cfg)))
+		case 8:
+			for _, nLocks := range []int{4, 16, 32, 128} {
+				fmt.Fprintln(stdout, bench.FormatFigure8(p, nLocks, bench.Figure8(p, nLocks, cfg)))
+			}
+		default:
+			fmt.Fprintf(stderr, "lockbench: no figure %d (have 3-8)\n", *fig)
+			return 2
+		}
+	}
+	return 0
+}

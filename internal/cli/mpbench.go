@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"ssync/internal/bench"
+)
+
+// MpbenchMain regenerates the paper's message-passing experiments:
+// Figure 9 (one-to-one latency by distance), Figure 10 (client-server
+// throughput) and the §5.3 prefetchw ablation.
+func MpbenchMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 9, "figure to regenerate: 9 or 10")
+	platforms := fs.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
+	prefetchw := fs.Bool("prefetchw", false, "run the §5.3 Opteron prefetchw ablation instead")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	cfg := bench.DefaultConfig()
+	if *prefetchw {
+		a := bench.AblationMPPrefetchw(cfg)
+		fmt.Fprintf(stdout, "Opteron message-passing round-trip: %.0f cycles with prefetchw, %.0f without (%.2fx)\n",
+			a.On, a.Off, a.Off/a.On)
+		return 0
+	}
+	for _, name := range splitList(*platforms) {
+		p, code := platformOrExit("mpbench", name, stderr)
+		if p == nil {
+			return code
+		}
+		switch *fig {
+		case 9:
+			fmt.Fprintln(stdout, bench.FormatFigure9(p, bench.Figure9(p, cfg)))
+		case 10:
+			fmt.Fprintln(stdout, bench.FormatFigure(bench.Figure10(p, cfg)))
+		default:
+			fmt.Fprintf(stderr, "mpbench: no figure %d (have 9, 10)\n", *fig)
+			return 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"ssync/internal/bench"
+)
+
+// SshtbenchMain regenerates Figure 11: the ssht concurrent hash table
+// under every lock algorithm and the message-passing mode, across the
+// buckets × entries configurations.
+func SshtbenchMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sshtbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platforms := fs.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
+	buckets := fs.String("buckets", "12,512", "bucket counts")
+	entries := fs.String("entries", "12,48", "entries per bucket")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	bs, err := intList(*buckets)
+	if err != nil {
+		fmt.Fprintln(stderr, "sshtbench: bad -buckets:", err)
+		return 2
+	}
+	es, err := intList(*entries)
+	if err != nil {
+		fmt.Fprintln(stderr, "sshtbench: bad -entries:", err)
+		return 2
+	}
+	cfg := bench.DefaultConfig()
+	for _, name := range splitList(*platforms) {
+		p, code := platformOrExit("sshtbench", name, stderr)
+		if p == nil {
+			return code
+		}
+		for _, b := range bs {
+			for _, e := range es {
+				fmt.Fprintln(stdout, bench.FormatFigure11(p, b, e, bench.Figure11(p, b, e, cfg)))
+			}
+		}
+	}
+	return 0
+}

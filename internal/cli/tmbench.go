@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sync"
+
+	"ssync/internal/bench"
+	"ssync/internal/tm"
+	"ssync/internal/xrand"
+)
+
+// TmbenchMain regenerates the §8 software-transactional-memory result:
+// TM2C's message-passing design versus the lock-based variant, under high
+// and low contention — the outcome mirrors the hash table of Figure 11.
+func TmbenchMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platforms := fs.String("platform", "Opteron,Xeon,Niagara,Tilera", "comma-separated platform models")
+	stripes := fs.String("stripes", "8,1024", "stripe counts (contention levels)")
+	native := fs.Bool("native", false, "also run the native TM bank workload on this host")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	stripeCounts, err := intList(*stripes)
+	if err != nil {
+		fmt.Fprintln(stderr, "tmbench: bad -stripes:", err)
+		return 2
+	}
+	cfg := bench.DefaultConfig()
+	for _, name := range splitList(*platforms) {
+		p, code := platformOrExit("tmbench", name, stderr)
+		if p == nil {
+			return code
+		}
+		for _, n := range stripeCounts {
+			fmt.Fprintf(stdout, "TM on %s, %d stripes:\n", p.Name, n)
+			for _, r := range bench.TMExperiment(p, n, cfg) {
+				fmt.Fprintf(stdout, "  %2d threads: locks %7.3f Mops/s   mp %7.3f Mops/s\n", r.Threads, r.LockMops, r.MPMops)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	if *native {
+		fmt.Fprintln(stdout, "native lock-based TM, bank workload (real goroutines):")
+		runner := tm.NewLockBased(64)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := xrand.New(uint64(g) + 1)
+				for i := 0; i < 20000; i++ {
+					from, to := rng.Intn(64), rng.Intn(64)
+					_ = runner.Run(func(tx tm.Tx) error {
+						f := tx.Read(from)
+						if f == 0 {
+							tx.Write(from, 100)
+							return nil
+						}
+						tx.Write(from, f-1)
+						tx.Write(to, tx.Read(to)+1)
+						return nil
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		commits, aborts := runner.Stats()
+		fmt.Fprintf(stdout, "  %d commits, %d aborts (%.1f%% abort rate)\n",
+			commits, aborts, 100*float64(aborts)/float64(commits+aborts))
+	}
+	return 0
+}

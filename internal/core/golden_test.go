@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssync/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenCfg is the pinned configuration of the golden runs. Changing it
+// invalidates the files under testdata/ (regenerate with -update).
+var goldenCfg = bench.Config{Deadline: 25_000, LatencyOps: 8, Reps: 2}
+
+// goldenCases pins Table 2, Table 3 and one figure per the determinism
+// contract: the simulator is seeded, so the same configuration must
+// reproduce byte-identical output across runs, platforms and harness
+// refactors.
+var goldenCases = []struct {
+	id       string
+	platform string
+}{
+	{"T2", "Niagara"},
+	{"T3", "Opteron"},
+	{"F9", "Tilera"},
+}
+
+func goldenRun(t *testing.T, id, platform string) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, platform, goldenCfg); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenOutputs compares each pinned artifact against its checked-in
+// golden file, so a harness or simulator refactor cannot silently drift
+// the reproduction. Run `go test ./internal/core -run Golden -update` to
+// accept an intentional change.
+func TestGoldenOutputs(t *testing.T) {
+	for _, c := range goldenCases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			got := goldenRun(t, c.id, c.platform)
+			path := filepath.Join("testdata", c.id+"_"+c.platform+".golden")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s on %s drifted from %s (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+					c.id, c.platform, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenReproducible re-runs each golden artifact in-process: two
+// runs with the same configuration must be byte-identical independently
+// of the checked-in files.
+func TestGoldenReproducible(t *testing.T) {
+	for _, c := range goldenCases {
+		a := goldenRun(t, c.id, c.platform)
+		b := goldenRun(t, c.id, c.platform)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s on %s: two identical runs produced different bytes", c.id, c.platform)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ssync/internal/bench"
+)
+
+// Emitter renders a result set.
+type Emitter interface {
+	Emit(w io.Writer, results []Result) error
+}
+
+// EmitterFor maps a format name ("json", "csv" or "table") to its
+// emitter.
+func EmitterFor(format string) (Emitter, error) {
+	switch format {
+	case "json":
+		return JSON{}, nil
+	case "csv":
+		return CSV{}, nil
+	case "table", "":
+		return Table{}, nil
+	}
+	return nil, fmt.Errorf("harness: unknown output format %q (have json, csv, table)", format)
+}
+
+// JSON emits the results as an indented JSON array.
+type JSON struct{}
+
+// Emit implements Emitter.
+func (JSON) Emit(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if results == nil {
+		results = []Result{}
+	}
+	return enc.Encode(results)
+}
+
+// CSV emits one row per result with a header line.
+type CSV struct{}
+
+// Emit implements Emitter.
+func (CSV) Emit(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "platform", "threads", "metric", "mean", "stddev", "min", "max", "reps"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	for _, r := range results {
+		rec := []string{
+			r.Experiment, r.Platform, strconv.Itoa(r.Threads), r.Metric,
+			f(r.Stats.Mean), f(r.Stats.Stddev), f(r.Stats.Min), f(r.Stats.Max),
+			strconv.FormatUint(r.Stats.N, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders one fixed-width table per experiment × platform, metrics
+// as columns and thread counts as rows, through the same figure formatter
+// the cmd/ tools print with.
+type Table struct{}
+
+// Emit implements Emitter.
+func (Table) Emit(w io.Writer, results []Result) error {
+	type group struct {
+		exp, plat string
+	}
+	figs := map[group]*bench.Figure{}
+	var order []group
+	for _, r := range results {
+		g := group{r.Experiment, r.Platform}
+		fig := figs[g]
+		if fig == nil {
+			fig = &bench.Figure{Name: r.Experiment, Platform: r.Platform, XLabel: "threads"}
+			figs[g] = fig
+			order = append(order, g)
+		}
+		s := bench.FindSeries(*fig, r.Metric)
+		if s == nil {
+			fig.Series = append(fig.Series, bench.Series{Label: r.Metric})
+			s = &fig.Series[len(fig.Series)-1]
+		}
+		s.Points = append(s.Points, bench.Point{X: r.Threads, Y: r.Stats.Mean})
+	}
+	for _, g := range order {
+		if _, err := fmt.Fprintln(w, bench.FormatFigure(*figs[g])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

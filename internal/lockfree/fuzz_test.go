@@ -1,0 +1,170 @@
+package lockfree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzQueueModel drives the Michael–Scott queue with a fuzzer-chosen op
+// sequence in two phases. Sequentially, every Enqueue/Dequeue/Empty
+// result must agree with a slice model. Then the same ops replay split
+// across goroutines, checking the structural invariants concurrency must
+// preserve: no value is lost, none is duplicated, and each producer's
+// values dequeue in its own insertion order (per-producer FIFO).
+func FuzzQueueModel(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 1})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 1, 2, 1, 1, 1, 1})
+	f.Add([]byte{2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1024 {
+			ops = ops[:1024]
+		}
+
+		// Phase 1: sequential, exact agreement with a slice model.
+		q := NewQueue[uint64]()
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				q.Enqueue(next)
+				model = append(model, next)
+				next++
+			case 1:
+				v, ok := q.Dequeue()
+				wantOK := len(model) > 0
+				if ok != wantOK {
+					t.Fatalf("Dequeue ok = %v, model has %d items", ok, len(model))
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("Dequeue = %d, model head %d", v, model[0])
+					}
+					model = model[1:]
+				}
+			default:
+				if got, want := q.Empty(), len(model) == 0; got != want {
+					t.Fatalf("Empty = %v, model has %d items", got, len(model))
+				}
+			}
+		}
+		for _, want := range model {
+			v, ok := q.Dequeue()
+			if !ok || v != want {
+				t.Fatalf("drain: got %d,%v want %d", v, ok, want)
+			}
+		}
+		if _, ok := q.Dequeue(); ok {
+			t.Fatal("queue not empty after drain")
+		}
+
+		// Phase 2: the same op tape sharded over 2 producers and 2
+		// consumers. Values are tagged with the producer id so the
+		// invariants are checkable without an interleaving oracle.
+		nEnq := 0
+		for _, op := range ops {
+			if op%3 == 0 {
+				nEnq++
+			}
+		}
+		const producers, consumers = 2, 2
+		cq := NewQueue[uint64]()
+		var wg sync.WaitGroup
+		got := make([][]uint64, consumers)
+		var dequeued atomic.Int64
+		target := int64(nEnq * producers)
+		for p := 0; p < producers; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				seq := uint64(0)
+				for _, op := range ops {
+					if op%3 == 0 {
+						cq.Enqueue(uint64(p)<<32 | seq)
+						seq++
+					}
+				}
+			}()
+		}
+		for c := 0; c < consumers; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for dequeued.Load() < target {
+					if v, ok := cq.Dequeue(); ok {
+						got[c] = append(got[c], v)
+						dequeued.Add(1)
+					} else {
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		seen := map[uint64]bool{}
+		lastSeq := map[uint64]int64{0: -1, 1: -1}
+		total := 0
+		for c := range got {
+			perProducer := map[uint64]int64{0: -1, 1: -1}
+			for _, v := range got[c] {
+				if seen[v] {
+					t.Fatalf("value %x dequeued twice", v)
+				}
+				seen[v] = true
+				total++
+				p, seq := v>>32, int64(v&0xffffffff)
+				if seq <= perProducer[p] {
+					t.Fatalf("consumer %d saw producer %d out of order: %d after %d", c, p, seq, perProducer[p])
+				}
+				perProducer[p] = seq
+				if seq > lastSeq[p] {
+					lastSeq[p] = seq
+				}
+			}
+		}
+		if total != nEnq*producers {
+			t.Fatalf("dequeued %d values, want %d", total, nEnq*producers)
+		}
+	})
+}
+
+// FuzzStackModel checks the Treiber stack against a slice model
+// sequentially.
+func FuzzStackModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1, 1})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1024 {
+			ops = ops[:1024]
+		}
+		s := NewStack[int]()
+		var model []int
+		for i, op := range ops {
+			if op%2 == 0 {
+				s.Push(i)
+				model = append(model, i)
+				continue
+			}
+			v, ok := s.Pop()
+			wantOK := len(model) > 0
+			if ok != wantOK {
+				t.Fatalf("Pop ok = %v, model has %d items", ok, len(model))
+			}
+			if ok {
+				if want := model[len(model)-1]; v != want {
+					t.Fatalf("Pop = %d, model top %d", v, want)
+				}
+				model = model[:len(model)-1]
+			}
+			if got, want := s.Empty(), len(model) == 0; got != want {
+				t.Fatalf("Empty = %v, want %v", got, want)
+			}
+		}
+	})
+}

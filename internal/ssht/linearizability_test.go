@@ -1,0 +1,158 @@
+package ssht
+
+import (
+	"sync"
+	"testing"
+
+	"ssync/internal/locks"
+	"ssync/internal/xrand"
+)
+
+// This file stress-tests linearizability of the shared-key paths under
+// real concurrency (run it with -race; CI does). The check exploits a
+// single-writer discipline: every key is written by exactly one
+// goroutine, with a version number that only grows, while every
+// goroutine reads every key. Linearizability then implies each reader
+// observes a non-decreasing version per key — a stale, torn or lost
+// write shows up as a version step backwards, without needing a full
+// interleaving oracle.
+
+// version packs a writer's monotonically increasing counter into the
+// first value word; the remaining words are derived so torn reads are
+// detectable too.
+func versioned(v uint64) Value {
+	return Value{v, v ^ 0xa5a5a5a5, v + 17, ^v, v * 31}
+}
+
+func checkVersioned(t *testing.T, ctx string, got Value) uint64 {
+	t.Helper()
+	if got != versioned(got[0]) {
+		t.Fatalf("%s: torn value %v", ctx, got)
+	}
+	return got[0]
+}
+
+func TestLinearizableLockTable(t *testing.T) {
+	const (
+		nWriters = 4
+		nReaders = 4
+		nKeys    = 16 // few keys over few buckets: heavy lock sharing
+		ops      = 3000
+	)
+	for _, alg := range []locks.Algorithm{locks.TAS, locks.TICKET, locks.MCS, locks.CLH, locks.MUTEX} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			tbl := New(Options{Buckets: 4, Lock: alg, MaxThreads: nWriters + nReaders + 1})
+			var wg sync.WaitGroup
+			// Writers: key k is owned by writer k%nWriters; versions only
+			// grow, and a key is sometimes removed then reinserted at a
+			// higher version.
+			for w := 0; w < nWriters; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := tbl.NewHandle(w % 2)
+					rng := xrand.New(uint64(w)*7919 + 1)
+					version := uint64(1)
+					for i := 0; i < ops; i++ {
+						k := uint64(w) + nWriters*(rng.Uint64()%(nKeys/nWriters))
+						if rng.Intn(8) == 0 {
+							h.Remove(k)
+						} else {
+							h.Put(k, versioned(version))
+							version++
+						}
+					}
+				}()
+			}
+			for r := 0; r < nReaders; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := tbl.NewHandle(r % 2)
+					rng := xrand.New(uint64(r)*104729 + 5)
+					var lastSeen [nKeys]uint64
+					for i := 0; i < ops; i++ {
+						k := rng.Uint64() % nKeys
+						v, ok := h.Get(k)
+						if !ok {
+							continue
+						}
+						ver := checkVersioned(t, string(alg), v)
+						if ver < lastSeen[k] {
+							t.Errorf("%s: key %d went backwards: version %d after %d", alg, k, ver, lastSeen[k])
+							return
+						}
+						lastSeen[k] = ver
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestLinearizableServedTable runs the same monotonic-reads check against
+// the message-passing table, whose mutual exclusion comes from bucket
+// ownership instead of locks.
+func TestLinearizableServedTable(t *testing.T) {
+	const (
+		nWriters = 3
+		nReaders = 3
+		nKeys    = 16
+		ops      = 2000
+	)
+	s := NewServed(8, 2, nWriters+nReaders)
+	clients := make([]*Client, nWriters+nReaders)
+	for i := range clients {
+		clients[i] = s.NewClient(i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := clients[w]
+			rng := xrand.New(uint64(w)*6151 + 9)
+			version := uint64(1)
+			for i := 0; i < ops; i++ {
+				k := uint64(w) + nWriters*(rng.Uint64()%(nKeys/nWriters))
+				if rng.Intn(8) == 0 {
+					c.Remove(k)
+				} else {
+					c.Put(k, versioned(version))
+					version++
+				}
+			}
+		}()
+	}
+	for r := 0; r < nReaders; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := clients[nWriters+r]
+			rng := xrand.New(uint64(r)*31337 + 2)
+			var lastSeen [nKeys]uint64
+			for i := 0; i < ops; i++ {
+				k := rng.Uint64() % nKeys
+				v, ok := c.Get(k)
+				if !ok {
+					continue
+				}
+				ver := checkVersioned(t, "served", v)
+				if ver < lastSeen[k] {
+					t.Errorf("served: key %d went backwards: version %d after %d", k, ver, lastSeen[k])
+					return
+				}
+				lastSeen[k] = ver
+			}
+		}()
+	}
+	wg.Wait()
+	clients[0].Close()
+}

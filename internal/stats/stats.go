@@ -63,3 +63,18 @@ func (o *Online) RelStddev() float64 {
 	}
 	return o.Stddev() / math.Abs(o.mean)
 }
+
+// Summary is a frozen snapshot of an accumulator, the shape experiment
+// runners report per metric.
+type Summary struct {
+	N      uint64  `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summary freezes the accumulator's current state.
+func (o *Online) Summary() Summary {
+	return Summary{N: o.n, Mean: o.Mean(), Stddev: o.Stddev(), Min: o.Min(), Max: o.Max()}
+}
