@@ -1,0 +1,180 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ssync/internal/harness"
+	"ssync/internal/locks"
+	"ssync/internal/stats"
+	"ssync/internal/store"
+	"ssync/internal/workload"
+)
+
+// StoreMain implements `ssync store`: it builds a sharded KVS with the
+// requested lock algorithm, serves it over the length-prefixed wire
+// protocol on in-process pipe connections (or --local in-process handles),
+// drives it with the scenario engine's ramp/steady phases, and emits the
+// per-shard and total throughput through the harness emitters.
+func StoreMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssync store", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	alg := fs.String("alg", "ticket", "shard-lock algorithm (tas, ttas, ticket, array, mutex, mcs, clh, hclh, hticket)")
+	shards := fs.Int("shards", 16, "independently locked shards")
+	buckets := fs.Int("buckets", 64, "buckets per shard")
+	distSpec := fs.String("dist", "zipfian", "key distribution: uniform, zipfian, zipfian:<theta>")
+	mixSpec := fs.String("mix", "95:5", "op mix get:put or get:put:scan percentages")
+	clients := fs.Int("clients", 8, "steady-phase client connections")
+	keys := fs.Uint64("keys", 16384, "key-space size")
+	ops := fs.Int("ops", 20000, "steady-phase operations per client")
+	valueSize := fs.Int("value", 64, "value size in bytes")
+	scanLimit := fs.Int("scanlimit", 16, "entries per scan")
+	preload := fs.Int("preload", -1, "keys preloaded before the run (-1 = half the key space)")
+	seed := fs.Uint64("seed", 0, "workload RNG seed (0 = fixed default)")
+	local := fs.Bool("local", false, "drive in-process handles instead of the wire protocol")
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	csvOut := fs.Bool("csv", false, "emit CSV")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+
+	algorithm, err := lockAlgorithm(*alg)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssync store:", err)
+		return 2
+	}
+	dist, err := workload.ParseDist(*distSpec, *keys)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssync store:", err)
+		return 2
+	}
+	mix, err := workload.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssync store:", err)
+		return 2
+	}
+	format := "table"
+	switch {
+	case *jsonOut && *csvOut:
+		fmt.Fprintln(stderr, "ssync store: -json and -csv are mutually exclusive")
+		return 2
+	case *jsonOut:
+		format = "json"
+	case *csvOut:
+		format = "csv"
+	}
+	emitter, _ := harness.EmitterFor(format)
+	if *preload < 0 {
+		*preload = int(*keys / 2)
+	}
+
+	st := store.New(store.Options{
+		Shards:     *shards,
+		Buckets:    *buckets,
+		Lock:       algorithm,
+		MaxThreads: *clients + 2,
+	})
+	srv := store.NewServer(st, 2)
+	dial := func(c int) (workload.Conn, error) {
+		if *local {
+			return store.Driver{C: st.NewLocalConn(c % 2)}, nil
+		}
+		return store.Driver{C: srv.PipeClient()}, nil
+	}
+
+	scenario := workload.Scenario{
+		Dist:      dist,
+		Keys:      *keys,
+		Mix:       mix,
+		ValueSize: *valueSize,
+		ScanLimit: *scanLimit,
+		Phases:    workload.RampSteady(*clients, *ops),
+		Seed:      *seed,
+	}
+
+	// Preload before the counter snapshot, so per-shard throughput
+	// reflects only the measured phases.
+	if *preload > 0 {
+		c, err := dial(0)
+		if err == nil {
+			err = workload.Preload(c, *preload, *valueSize)
+			c.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync store: preload:", err)
+			return 1
+		}
+	}
+	mon := st.NewHandle(0)
+	before := mon.ShardStats()
+	phases, err := workload.Run(scenario, dial)
+	after := mon.ShardStats()
+	if err != nil {
+		fmt.Fprintln(stderr, "ssync store:", err)
+		return 1
+	}
+
+	transport := "wire"
+	if *local {
+		transport = "local"
+	}
+	fmt.Fprintf(stderr, "%s over %s, %s keys, mix %s:\n", st, transport, dist.Name(), mix)
+	var total time.Duration
+	for _, ph := range phases {
+		fmt.Fprintln(stderr, " ", ph)
+		total += ph.Duration
+	}
+
+	results := shardResults("store/"+strings.ToLower(string(algorithm)), *clients, phases, before, after, total)
+	if err := emitter.Emit(stdout, results); err != nil {
+		fmt.Fprintln(stderr, "ssync store:", err)
+		return 1
+	}
+	return 0
+}
+
+// shardResults shapes the run into harness results: steady-phase totals
+// plus per-shard throughput over the whole run, one metric per shard.
+func shardResults(experiment string, clients int, phases []workload.PhaseResult,
+	before, after []store.Counters, total time.Duration) []harness.Result {
+	one := func(metric string, v float64) harness.Result {
+		var o stats.Online
+		o.Add(v)
+		return harness.Result{
+			Experiment: experiment,
+			Platform:   harness.Native,
+			Threads:    clients,
+			Metric:     metric,
+			Stats:      o.Summary(),
+		}
+	}
+	steady := phases[len(phases)-1]
+	results := []harness.Result{one("total Kops/s", steady.Kops())}
+	if steady.Hits+steady.Misses > 0 {
+		results = append(results, one("hit %",
+			100*float64(steady.Hits)/float64(steady.Hits+steady.Misses)))
+	}
+	secs := total.Seconds()
+	for i := range after {
+		delta := after[i].Sub(before[i])
+		kops := 0.0
+		if secs > 0 {
+			kops = float64(delta.Total()) / secs / 1e3
+		}
+		results = append(results, one(fmt.Sprintf("shard%02d Kops/s", i), kops))
+	}
+	return results
+}
+
+// lockAlgorithm resolves a case-insensitive algorithm name.
+func lockAlgorithm(name string) (locks.Algorithm, error) {
+	for _, alg := range locks.All {
+		if strings.EqualFold(string(alg), name) {
+			return alg, nil
+		}
+	}
+	return "", fmt.Errorf("unknown lock algorithm %q (have %v)", name, locks.All)
+}

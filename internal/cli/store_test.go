@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStoreAcceptance is the issue's acceptance command (scaled down):
+// `ssync store --alg mcs --shards 16 --dist zipfian --mix 95:5` must run
+// the scenario end-to-end through the wire protocol and emit per-shard
+// throughput via the standard emitters.
+func TestStoreAcceptance(t *testing.T) {
+	out, errOut, code := runMain(t,
+		"store", "--alg", "mcs", "--shards", "16", "--dist", "zipfian", "--mix", "95:5",
+		"-clients", "4", "-ops", "1500", "-keys", "4096", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var results []result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	metrics := map[string]bool{}
+	for _, r := range results {
+		if r.Experiment != "store/mcs" || r.Platform != "native" || r.Threads != 4 {
+			t.Fatalf("unexpected result %+v", r)
+		}
+		metrics[r.Metric] = true
+	}
+	if !metrics["total Kops/s"] || !metrics["hit %"] {
+		t.Fatalf("missing summary metrics in %v", metrics)
+	}
+	for _, shard := range []string{"shard00 Kops/s", "shard07 Kops/s", "shard15 Kops/s"} {
+		if !metrics[shard] {
+			t.Fatalf("missing per-shard metric %q in %v", shard, metrics)
+		}
+	}
+	if !strings.Contains(errOut, "steady:") || !strings.Contains(errOut, "ramp:") {
+		t.Fatalf("phase summary missing from stderr: %s", errOut)
+	}
+}
+
+func TestStoreLocalTableAndCSV(t *testing.T) {
+	out, errOut, code := runMain(t,
+		"store", "-alg", "hclh", "-shards", "4", "-dist", "uniform", "-mix", "80:15:5",
+		"-clients", "2", "-ops", "800", "-keys", "512", "-local")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"store/hclh", "total Kops/s", "shard03 Kops/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	csvOut, _, code := runMain(t,
+		"store", "-alg", "ticket", "-shards", "2", "-clients", "2", "-ops", "500", "-csv")
+	if code != 0 {
+		t.Fatal("csv run failed")
+	}
+	if !strings.HasPrefix(csvOut, "experiment,platform,threads,metric,") ||
+		!strings.Contains(csvOut, "store/ticket,native,2,shard01 Kops/s,") {
+		t.Fatalf("CSV output malformed:\n%s", csvOut)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	if _, _, code := runMain(t, "store", "-alg", "bogus"); code != 2 {
+		t.Error("unknown algorithm must exit 2")
+	}
+	if _, _, code := runMain(t, "store", "-dist", "pareto"); code != 2 {
+		t.Error("unknown distribution must exit 2")
+	}
+	if _, _, code := runMain(t, "store", "-mix", "60:60"); code != 2 {
+		t.Error("mix not summing to 100 must exit 2")
+	}
+	if _, _, code := runMain(t, "store", "-json", "-csv"); code != 2 {
+		t.Error("-json -csv must exit 2")
+	}
+	if _, _, code := runMain(t, "store", "-h"); code != 0 {
+		t.Error("store -h must exit 0")
+	}
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+
+	"ssync/internal/locks"
+	"ssync/internal/store"
+	"ssync/internal/workload"
+)
+
+// This file registers the sharded key-value store (internal/store) as a
+// family of experiments, one per lock algorithm: store/tas, store/ticket,
+// store/mcs, ... Each runs the scenario engine (internal/workload) with
+// a zipfian 95:5 get/put mix against the same store twice — once through
+// in-process connections ("direct") and once through the length-prefixed
+// wire protocol over net.Pipe ("wire") — so the grid shows both what the
+// shard-lock choice costs and how much of it survives a real request
+// path.
+
+// storeShards is the shard count of the registered experiments; small
+// enough that zipfian traffic meaningfully contends the hot shards.
+const storeShards = 16
+
+func init() {
+	for _, alg := range locks.All {
+		alg := alg
+		Register(Def{
+			ID: "store/" + strings.ToLower(string(alg)),
+			Doc: "host: sharded KVS with " + string(alg) +
+				" shard locks, zipfian 95:5 scenario, direct and wire Kops/s",
+			On: []string{Native},
+			Runner: func(s Shard) ([]Sample, error) {
+				ops := nativeOps(s.Config) / 4
+				if ops < 200 {
+					ops = 200
+				}
+				var out []Sample
+				for _, mode := range []string{"direct", "wire"} {
+					st := store.New(store.Options{
+						Shards:     storeShards,
+						Lock:       alg,
+						MaxThreads: s.Threads + 2,
+					})
+					srv := store.NewServer(st, 2)
+					dial := func(c int) (workload.Conn, error) {
+						if mode == "direct" {
+							return store.Driver{C: st.NewLocalConn(c % 2)}, nil
+						}
+						return store.Driver{C: srv.PipeClient()}, nil
+					}
+					scenario := workload.Scenario{
+						Dist:    workload.NewZipfian(4096, 0),
+						Mix:     workload.Mix{Get: 95, Put: 5},
+						Preload: 2048,
+						Phases:  workload.RampSteady(s.Threads, ops),
+					}
+					results, err := workload.Run(scenario, dial)
+					if err != nil {
+						return nil, err
+					}
+					steady := results[len(results)-1]
+					out = append(out, Sample{Metric: mode + " Kops/s", Value: steady.Kops()})
+				}
+				return out, nil
+			},
+		})
+	}
+}

@@ -18,6 +18,8 @@ func TestSuiteRegistered(t *testing.T) {
 		"cc/latency", "mp/pair", "mp/clientserver",
 		"ssht/high", "ssht/low", "tm/high", "tm/low", "kvs/set", "kvs/get", "rcl/hot",
 		"native/locks", "native/lockfree", "native/ssht", "native/kvs", "native/tm", "native/mp",
+		"store/tas", "store/ttas", "store/ticket", "store/array", "store/mutex",
+		"store/mcs", "store/clh", "store/hclh", "store/hticket",
 	}
 	for _, name := range want {
 		if _, err := Default.ByName(name); err != nil {

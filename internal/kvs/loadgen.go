@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ssync/internal/workload"
 	"ssync/internal/xrand"
 )
 
@@ -18,6 +19,10 @@ type Workload struct {
 	SetPercent int
 	// Keys is the key-space size.
 	Keys int
+	// Dist draws key indices; nil means uniform over Keys. The
+	// distributions come from internal/workload, the suite's one
+	// definition of key skew.
+	Dist workload.Dist
 	// ValueSize is the value payload size in bytes.
 	ValueSize int
 	// OpsPerClient is the number of operations each client performs.
@@ -59,6 +64,10 @@ func Run(s *Store, w Workload) Result {
 	if w.Clients <= 0 || w.OpsPerClient <= 0 || w.Keys <= 0 {
 		panic("kvs: workload needs positive clients, ops and keys")
 	}
+	dist := w.Dist
+	if dist == nil {
+		dist = workload.NewUniform(uint64(w.Keys))
+	}
 	value := make([]byte, w.ValueSize)
 	for i := range value {
 		value[i] = byte(i)
@@ -75,7 +84,7 @@ func Run(s *Store, w Workload) Result {
 			h := s.NewHandle(c % 2)
 			rng := xrand.New(uint64(c)*6364136223846793005 + 1442695040888963407)
 			for i := 0; i < w.OpsPerClient; i++ {
-				key := fmt.Sprintf("key-%d", rng.Intn(w.Keys))
+				key := workload.Key(dist.Next(rng))
 				if int(rng.Uint64()%100) < w.SetPercent {
 					h.Set(key, value, 0)
 				} else if _, ok := h.Get(key); ok {

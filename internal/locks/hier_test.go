@@ -1,0 +1,138 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// PR 1's stress tests exercised the hierarchical cohort locks only
+// lightly (TestHierarchicalNodesIsolation's 8×200 sweep). This file is
+// the heavy -race coverage for HCLH and HTICKET: mutual exclusion under
+// sustained cross-node contention, progress for every node despite cohort
+// hand-off (the fairness the cohortLimit bounds), and token reuse across
+// node counts that do not divide the goroutine count evenly.
+
+var hierAlgs = []Algorithm{HCLH, HTICKET}
+
+func TestHierarchicalMutualExclusionStress(t *testing.T) {
+	nG, rounds := 16, 400
+	if testing.Short() {
+		nG, rounds = 8, 150
+	}
+	for _, alg := range hierAlgs {
+		for _, nodes := range []int{1, 2, 3, 4} {
+			alg, nodes := alg, nodes
+			t.Run(string(alg)+"/nodes="+string(rune('0'+nodes)), func(t *testing.T) {
+				t.Parallel()
+				l := New(alg, Options{Nodes: nodes})
+				var counter int64 // plain int: only safe if the lock works
+				var inCS int32
+				var wg sync.WaitGroup
+				for g := 0; g < nG; g++ {
+					node := g % nodes
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						tok := l.NewToken(node)
+						for i := 0; i < rounds; i++ {
+							l.Acquire(tok)
+							if n := atomic.AddInt32(&inCS, 1); n != 1 {
+								t.Errorf("%s: %d goroutines inside the critical section", alg, n)
+							}
+							counter++
+							atomic.AddInt32(&inCS, -1)
+							l.Release(tok)
+						}
+					}()
+				}
+				wg.Wait()
+				if counter != int64(nG*rounds) {
+					t.Errorf("%s/%d nodes: counter = %d, want %d (lost updates)",
+						alg, nodes, counter, nG*rounds)
+				}
+			})
+		}
+	}
+}
+
+// TestHierarchicalFairnessAcrossNodes checks that cohort hand-off cannot
+// starve a remote node: with one node's goroutines hammering the lock,
+// a single waiter from the other node must still get in — the cohortLimit
+// bounds how long the global lock stays with one cohort.
+func TestHierarchicalFairnessAcrossNodes(t *testing.T) {
+	for _, alg := range hierAlgs {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			l := New(alg, Options{Nodes: 2})
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			// Node 0: four goroutines keep the cohort saturated.
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tok := l.NewToken(0)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						l.Acquire(tok)
+						l.Release(tok)
+					}
+				}()
+			}
+			// Node 1: a lone waiter must acquire while the storm runs.
+			acquired := make(chan struct{})
+			go func() {
+				tok := l.NewToken(1)
+				l.Acquire(tok)
+				close(acquired)
+				l.Release(tok)
+			}()
+			select {
+			case <-acquired:
+			case <-time.After(10 * time.Second):
+				t.Errorf("%s: remote-node waiter starved for 10s by a local cohort", alg)
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestHierarchicalCohortHandoffCount drives exactly one node and checks
+// the lock still behaves as a plain mutual-exclusion lock when the
+// hierarchy degenerates (every acquire is a cohort hand-off).
+func TestHierarchicalCohortHandoffCount(t *testing.T) {
+	for _, alg := range hierAlgs {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			l := New(alg, Options{Nodes: 4})
+			const nG, rounds = 6, 500
+			var counter int64
+			var wg sync.WaitGroup
+			for g := 0; g < nG; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tok := l.NewToken(2) // everyone on node 2
+					for i := 0; i < rounds; i++ {
+						l.Acquire(tok)
+						counter++
+						l.Release(tok)
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != nG*rounds {
+				t.Errorf("%s single-node cohort lost updates: %d, want %d", alg, counter, nG*rounds)
+			}
+		})
+	}
+}

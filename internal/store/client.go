@@ -1,0 +1,169 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Client drives a Server over a byte stream (net.Conn, net.Pipe). It
+// keeps one request in flight and is not safe for concurrent use — give
+// each goroutine its own connection, exactly like real client traffic.
+type Client struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte // encode / frame-read scratch
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends req and decodes the response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	body, err := AppendRequest(c.buf[:0], req)
+	if err != nil {
+		return Response{}, err
+	}
+	c.buf = body[:0]
+	if err := WriteFrame(c.bw, body); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	rbody, err := ReadFrame(c.br, c.buf)
+	if err != nil {
+		return Response{}, err
+	}
+	c.buf = rbody[:0]
+	resp, err := ParseResponse(req.Op, rbody)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Status == StatusError {
+		return Response{}, fmt.Errorf("store: server error: %s", resp.Msg)
+	}
+	return resp, nil
+}
+
+// Get fetches the value under key.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Status == StatusOK, nil
+}
+
+// Put stores value under key; it reports whether the key was newly
+// inserted.
+func (c *Client) Put(key string, value []byte) (bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpPut, Key: key, Value: value})
+	if err != nil {
+		return false, err
+	}
+	return resp.Created, nil
+}
+
+// Delete removes key; it reports whether the key was present.
+func (c *Client) Delete(key string) (bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == StatusOK, nil
+}
+
+// Scan returns up to limit entries with the given key prefix, sorted by
+// key (limit 0 = unlimited, subject to the frame bound).
+func (c *Client) Scan(prefix string, limit int) ([]Entry, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	resp, err := c.roundTrip(Request{Op: OpScan, Key: prefix, Limit: uint32(limit)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// LocalConn adapts a Handle to the Client method set, so the workload
+// engine can drive a store in-process (no wire) through the same
+// interface as a remote client. Like Handle, it is single-goroutine.
+type LocalConn struct {
+	h *Handle
+}
+
+// NewLocalConn creates an in-process connection; node is the NUMA hint.
+func (s *Store) NewLocalConn(node int) *LocalConn {
+	return &LocalConn{h: s.NewHandle(node)}
+}
+
+// Get fetches the value under key.
+func (c *LocalConn) Get(key string) ([]byte, bool, error) {
+	v, ok := c.h.Get(key)
+	return v, ok, nil
+}
+
+// Put stores value under key.
+func (c *LocalConn) Put(key string, value []byte) (bool, error) {
+	return c.h.Put(key, value), nil
+}
+
+// Delete removes key.
+func (c *LocalConn) Delete(key string) (bool, error) {
+	return c.h.Delete(key), nil
+}
+
+// Scan returns up to limit entries with the given key prefix.
+func (c *LocalConn) Scan(prefix string, limit int) ([]Entry, error) {
+	return c.h.Scan(prefix, limit), nil
+}
+
+// Close is a no-op.
+func (c *LocalConn) Close() error { return nil }
+
+// Conn is the method set shared by Client and LocalConn.
+type Conn interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, value []byte) (bool, error)
+	Delete(key string) (bool, error)
+	Scan(prefix string, limit int) ([]Entry, error)
+	Close() error
+}
+
+var (
+	_ Conn = (*Client)(nil)
+	_ Conn = (*LocalConn)(nil)
+)
+
+// Driver wraps a Conn into the shape the workload engine consumes
+// (workload.Conn): the same methods, except Scan reports only the entry
+// count.
+type Driver struct {
+	C Conn
+}
+
+// Get forwards to the wrapped connection.
+func (d Driver) Get(key string) ([]byte, bool, error) { return d.C.Get(key) }
+
+// Put forwards to the wrapped connection.
+func (d Driver) Put(key string, value []byte) (bool, error) { return d.C.Put(key, value) }
+
+// Delete forwards to the wrapped connection.
+func (d Driver) Delete(key string) (bool, error) { return d.C.Delete(key) }
+
+// Scan forwards to the wrapped connection and reports the entry count.
+func (d Driver) Scan(prefix string, limit int) (int, error) {
+	entries, err := d.C.Scan(prefix, limit)
+	return len(entries), err
+}
+
+// Close forwards to the wrapped connection.
+func (d Driver) Close() error { return d.C.Close() }

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"ssync/internal/locks"
+	"ssync/internal/workload"
+	"ssync/internal/xrand"
+)
+
+// Linearizability stress for the sharded store, in the style of
+// internal/ssht's: every key has exactly one writer whose versions only
+// grow, every reader reads every key, and linearizability then implies
+// each reader observes a non-decreasing version per key. The value
+// carries the version twice (raw and bit-flipped), so a torn read is
+// detectable without an interleaving oracle. Run with -race; CI does.
+
+func versionValue(v uint64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b[:8], v)
+	binary.LittleEndian.PutUint64(b[8:], ^v)
+	return b
+}
+
+func checkVersionValue(t *testing.T, ctx string, b []byte) uint64 {
+	t.Helper()
+	if len(b) != 16 {
+		t.Fatalf("%s: value has %d bytes, want 16", ctx, len(b))
+	}
+	v := binary.LittleEndian.Uint64(b[:8])
+	if binary.LittleEndian.Uint64(b[8:]) != ^v {
+		t.Fatalf("%s: torn value % x", ctx, b)
+	}
+	return v
+}
+
+func TestLinearizableStore(t *testing.T) {
+	const (
+		nWriters = 4
+		nReaders = 4
+		nKeys    = 32 // few keys over few shards: heavy lock sharing
+	)
+	ops := 3000
+	if testing.Short() {
+		ops = 800
+	}
+	// The sweep includes both hierarchical locks — the shard layer is the
+	// system-level test the paper's cohort locks never got in PR 1.
+	for _, alg := range []locks.Algorithm{locks.TAS, locks.TICKET, locks.MCS, locks.CLH, locks.HCLH, locks.HTICKET, locks.MUTEX} {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			s := New(Options{Shards: 2, Buckets: 4, Lock: alg,
+				MaxThreads: nWriters + nReaders + 2, Nodes: 2})
+			var wg sync.WaitGroup
+			// Writers: key k is owned by writer k%nWriters; versions only
+			// grow, and a key is sometimes deleted then reinserted at a
+			// higher version.
+			for w := 0; w < nWriters; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := s.NewHandle(w % 2)
+					rng := xrand.New(uint64(w)*7919 + 1)
+					version := uint64(1)
+					for i := 0; i < ops; i++ {
+						k := workload.Key(uint64(w) + nWriters*(rng.Uint64()%(nKeys/nWriters)))
+						if rng.Intn(8) == 0 {
+							h.Delete(k)
+						} else {
+							h.Put(k, versionValue(version))
+							version++
+						}
+					}
+				}()
+			}
+			for r := 0; r < nReaders; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := s.NewHandle(r % 2)
+					rng := xrand.New(uint64(r)*104729 + 5)
+					var lastSeen [nKeys]uint64
+					for i := 0; i < ops; i++ {
+						k := rng.Uint64() % nKeys
+						v, ok := h.Get(workload.Key(k))
+						if !ok {
+							continue
+						}
+						ver := checkVersionValue(t, string(alg), v)
+						if ver < lastSeen[k] {
+							t.Errorf("%s: key %d went backwards: version %d after %d",
+								alg, k, ver, lastSeen[k])
+							return
+						}
+						lastSeen[k] = ver
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestLinearizableOverWire runs the same monotonic-versions check through
+// the wire protocol: writers and readers are real clients of a served
+// store, so the framing, parsing and per-connection handles are all on
+// the checked path.
+func TestLinearizableOverWire(t *testing.T) {
+	const (
+		nWriters = 3
+		nReaders = 3
+		nKeys    = 24
+	)
+	ops := 1200
+	if testing.Short() {
+		ops = 400
+	}
+	s := New(Options{Shards: 2, Buckets: 4, Lock: locks.MCS})
+	srv := NewServer(s, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := srv.PipeClient()
+			defer c.Close()
+			rng := xrand.New(uint64(w)*6151 + 9)
+			version := uint64(1)
+			for i := 0; i < ops; i++ {
+				k := workload.Key(uint64(w) + nWriters*(rng.Uint64()%(nKeys/nWriters)))
+				if rng.Intn(8) == 0 {
+					if _, err := c.Delete(k); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := c.Put(k, versionValue(version)); err != nil {
+						t.Error(err)
+						return
+					}
+					version++
+				}
+			}
+		}()
+	}
+	for r := 0; r < nReaders; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := srv.PipeClient()
+			defer c.Close()
+			rng := xrand.New(uint64(r)*31337 + 2)
+			var lastSeen [nKeys]uint64
+			for i := 0; i < ops; i++ {
+				k := rng.Uint64() % nKeys
+				v, ok, err := c.Get(workload.Key(k))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					continue
+				}
+				ver := checkVersionValue(t, "wire", v)
+				if ver < lastSeen[k] {
+					t.Errorf("wire: key %d went backwards: version %d after %d", k, ver, lastSeen[k])
+					return
+				}
+				lastSeen[k] = ver
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// Server serves the wire protocol over byte streams. One goroutine per
+// connection owns a Handle, so every lock token stays goroutine-local;
+// connections are striped over NUMA nodes round-robin for the
+// hierarchical lock algorithms.
+type Server struct {
+	store *Store
+	nodes int
+	next  atomic.Uint64 // round-robin NUMA-node assignment
+}
+
+// NewServer wraps a store. nodes is the NUMA-node count to stripe
+// connections over (values below 1 mean 1).
+func NewServer(s *Store, nodes int) *Server {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Server{store: s, nodes: nodes}
+}
+
+// Store returns the served store.
+func (sv *Server) Store() *Store { return sv.store }
+
+// Serve accepts connections until ln fails, handling each on its own
+// goroutine. It returns the accept error (net.ErrClosed after Close).
+func (sv *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = sv.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn handles one connection until EOF or failure. A malformed
+// request gets a StatusError response and closes the stream (framing
+// cannot be trusted after a parse error); store operations themselves
+// cannot fail.
+func (sv *Server) ServeConn(conn io.ReadWriter) error {
+	node := int(sv.next.Add(1)-1) % sv.nodes
+	h := sv.store.NewHandle(node)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var in, out []byte
+	for {
+		body, err := ReadFrame(br, in)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		in = body[:0]
+		req, err := ParseRequest(body)
+		if err != nil {
+			out = out[:0]
+			out, _ = AppendResponse(out, 0, Response{Status: StatusError, Msg: err.Error()})
+			if werr := WriteFrame(bw, out); werr != nil {
+				return werr
+			}
+			if werr := bw.Flush(); werr != nil {
+				return werr
+			}
+			return fmt.Errorf("store: closing connection after bad request: %w", err)
+		}
+		resp := sv.execute(h, req)
+		out = out[:0]
+		out, err = AppendResponse(out, req.Op, resp)
+		if err != nil {
+			return err
+		}
+		if err := WriteFrame(bw, out); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// PipeClient connects a new in-process client to the server over
+// net.Pipe, with the server side on its own goroutine — the transport
+// `ssync store`, the harness experiments and the e2e tests share.
+func (sv *Server) PipeClient() *Client {
+	clientEnd, serverEnd := net.Pipe()
+	go func() {
+		defer serverEnd.Close()
+		_ = sv.ServeConn(serverEnd)
+	}()
+	return NewClient(clientEnd)
+}
+
+// execute runs one parsed request against the handle.
+func (sv *Server) execute(h *Handle, req Request) Response {
+	switch req.Op {
+	case OpGet:
+		v, ok := h.Get(req.Key)
+		if !ok {
+			return Response{Status: StatusNotFound}
+		}
+		return Response{Status: StatusOK, Value: v}
+	case OpPut:
+		created := h.Put(req.Key, req.Value)
+		return Response{Status: StatusOK, Created: created}
+	case OpDelete:
+		if !h.Delete(req.Key) {
+			return Response{Status: StatusNotFound}
+		}
+		return Response{Status: StatusOK}
+	case OpScan:
+		limit := int(req.Limit)
+		entries := h.Scan(req.Key, limit)
+		return Response{Status: StatusOK, Entries: trimToFrame(entries)}
+	}
+	return Response{Status: StatusError, Msg: ErrBadOp.Error()}
+}
+
+// trimToFrame drops trailing scan entries until the encoded response fits
+// one frame (status + count + per-entry headers and payloads).
+func trimToFrame(entries []Entry) []Entry {
+	size := 1 + 4
+	for i, e := range entries {
+		size += 2 + len(e.Key) + 4 + len(e.Value)
+		if size > MaxFrame {
+			return entries[:i]
+		}
+	}
+	return entries
+}

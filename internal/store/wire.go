@@ -1,0 +1,335 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The wire protocol is length-prefixed binary frames over any byte
+// stream (net.Conn, net.Pipe). A frame is a big-endian uint32 body
+// length followed by the body; requests and responses use the same
+// framing, so the parser below is shared by server, client and the fuzz
+// target.
+//
+// Request body:
+//
+//	op      uint8            (OpGet, OpPut, OpDelete, OpScan)
+//	keyLen  uint16           key / scan-prefix length
+//	key     keyLen bytes
+//	PUT:    valLen uint32, val valLen bytes
+//	SCAN:   limit  uint32    (0 = unlimited)
+//
+// Response body:
+//
+//	status  uint8            (StatusOK, StatusNotFound, StatusError)
+//	GET ok:    valLen uint32, val valLen bytes
+//	PUT ok:    created uint8 (1 = newly inserted)
+//	SCAN ok:   count uint32, then count × (keyLen uint16, key,
+//	           valLen uint32, val)
+//	error:     msgLen uint16, msg msgLen bytes
+//
+// Every length is bounded (MaxKeyLen, MaxValueLen, MaxFrame) and the
+// parsers reject truncated or over-long input, so a malicious peer can
+// make a connection fail but not allocate unboundedly.
+
+// Request opcodes.
+const (
+	OpGet byte = iota + 1
+	OpPut
+	OpDelete
+	OpScan
+)
+
+// Response status codes.
+const (
+	StatusOK byte = iota
+	StatusNotFound
+	StatusError
+)
+
+// Protocol bounds.
+const (
+	// MaxKeyLen bounds keys and scan prefixes.
+	MaxKeyLen = 1<<16 - 1
+	// MaxValueLen bounds a single value.
+	MaxValueLen = 1 << 20
+	// MaxFrame bounds a whole frame body (scan responses chunk under it).
+	MaxFrame = 4 << 20
+)
+
+// Wire-format errors.
+var (
+	ErrFrameTooLarge = errors.New("store: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("store: truncated message")
+	ErrTrailingBytes = errors.New("store: trailing bytes after message")
+	ErrBadOp         = errors.New("store: unknown opcode")
+	ErrKeyTooLong    = errors.New("store: key exceeds MaxKeyLen")
+	ErrValueTooLong  = errors.New("store: value exceeds MaxValueLen")
+)
+
+// Request is one decoded client request.
+type Request struct {
+	Op    byte
+	Key   string // the scan prefix for OpScan
+	Value []byte // OpPut only
+	Limit uint32 // OpScan only; 0 = unlimited
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status  byte
+	Created bool    // OpPut
+	Value   []byte  // OpGet
+	Entries []Entry // OpScan
+	Msg     string  // StatusError detail
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame body, reusing buf when it is large enough.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendRequest encodes req onto dst and returns the extended slice.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	if len(req.Key) > MaxKeyLen {
+		return dst, ErrKeyTooLong
+	}
+	dst = append(dst, req.Op)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Key)))
+	dst = append(dst, req.Key...)
+	switch req.Op {
+	case OpGet, OpDelete:
+	case OpPut:
+		if len(req.Value) > MaxValueLen {
+			return dst, ErrValueTooLong
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Value)))
+		dst = append(dst, req.Value...)
+	case OpScan:
+		dst = binary.BigEndian.AppendUint32(dst, req.Limit)
+	default:
+		return dst, ErrBadOp
+	}
+	return dst, nil
+}
+
+// ParseRequest decodes one request body. It rejects unknown opcodes,
+// truncated bodies, oversized fields and trailing garbage.
+func ParseRequest(body []byte) (Request, error) {
+	var req Request
+	p := parser{buf: body}
+	req.Op = p.u8()
+	key := p.bytes16()
+	switch req.Op {
+	case OpGet, OpDelete:
+	case OpPut:
+		val := p.bytes32(MaxValueLen)
+		req.Value = append([]byte(nil), val...)
+	case OpScan:
+		req.Limit = p.u32()
+	default:
+		if p.err == nil {
+			return Request{}, ErrBadOp
+		}
+	}
+	if err := p.finish(); err != nil {
+		return Request{}, err
+	}
+	req.Key = string(key)
+	return req, nil
+}
+
+// AppendResponse encodes resp for a request with opcode op.
+func AppendResponse(dst []byte, op byte, resp Response) ([]byte, error) {
+	dst = append(dst, resp.Status)
+	if resp.Status == StatusError {
+		msg := resp.Msg
+		if len(msg) > MaxKeyLen {
+			msg = msg[:MaxKeyLen]
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+		return append(dst, msg...), nil
+	}
+	if resp.Status != StatusOK {
+		return dst, nil
+	}
+	switch op {
+	case OpGet:
+		if len(resp.Value) > MaxValueLen {
+			return dst, ErrValueTooLong
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Value)))
+		dst = append(dst, resp.Value...)
+	case OpPut:
+		if resp.Created {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case OpDelete:
+	case OpScan:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Entries)))
+		for _, e := range resp.Entries {
+			if len(e.Key) > MaxKeyLen {
+				return dst, ErrKeyTooLong
+			}
+			if len(e.Value) > MaxValueLen {
+				return dst, ErrValueTooLong
+			}
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Key)))
+			dst = append(dst, e.Key...)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Value)))
+			dst = append(dst, e.Value...)
+		}
+	default:
+		return dst, ErrBadOp
+	}
+	return dst, nil
+}
+
+// ParseResponse decodes one response body for a request with opcode op.
+func ParseResponse(op byte, body []byte) (Response, error) {
+	var resp Response
+	p := parser{buf: body}
+	resp.Status = p.u8()
+	switch {
+	case resp.Status == StatusError:
+		resp.Msg = string(p.bytes16())
+	case resp.Status == StatusNotFound:
+	case resp.Status == StatusOK:
+		switch op {
+		case OpGet:
+			resp.Value = append([]byte(nil), p.bytes32(MaxValueLen)...)
+		case OpPut:
+			switch flag := p.u8(); flag {
+			case 0:
+			case 1:
+				resp.Created = true
+			default:
+				if p.err == nil {
+					return Response{}, fmt.Errorf("store: invalid created flag %d", flag)
+				}
+			}
+		case OpDelete:
+		case OpScan:
+			n := p.u32()
+			for i := uint32(0); i < n && p.err == nil; i++ {
+				k := string(p.bytes16())
+				v := append([]byte(nil), p.bytes32(MaxValueLen)...)
+				resp.Entries = append(resp.Entries, Entry{Key: k, Value: v})
+			}
+		default:
+			if p.err == nil {
+				return Response{}, ErrBadOp
+			}
+		}
+	default:
+		if p.err == nil {
+			return Response{}, fmt.Errorf("store: unknown status %d", resp.Status)
+		}
+	}
+	if err := p.finish(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// parser is a cursor over a message body; the first failure sticks and
+// every later read returns zero values.
+type parser struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (p *parser) take(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || len(p.buf)-p.off < n {
+		p.err = ErrTruncated
+		return nil
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+func (p *parser) u8() byte {
+	b := p.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (p *parser) u16() uint16 {
+	b := p.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (p *parser) u32() uint32 {
+	b := p.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// bytes16 reads a uint16-prefixed byte string.
+func (p *parser) bytes16() []byte { return p.take(int(p.u16())) }
+
+// bytes32 reads a uint32-prefixed byte string bounded by max.
+func (p *parser) bytes32(max int) []byte {
+	n := p.u32()
+	if p.err == nil && n > uint32(max) {
+		p.err = ErrValueTooLong
+		return nil
+	}
+	return p.take(int(n))
+}
+
+// finish reports the sticky error, or trailing garbage.
+func (p *parser) finish() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.off != len(p.buf) {
+		return ErrTrailingBytes
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package workload is the scenario-driven load engine of the suite: key
+// distributions (uniform, zipfian), read/write/scan operation mixes, and
+// multi-phase (ramp/steady) scenarios executed by goroutine clients over
+// any connection-like backend — the in-process store handles, the wire
+// protocol clients, or the Memcached-style kvs. internal/kvs's memslap
+// loadgen and the `ssync store` experiments both draw their keys from
+// this package, so every load generator in the repository shares one
+// definition of "skewed traffic".
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"ssync/internal/xrand"
+)
+
+// Dist draws key indices from [0, Keys()). Implementations are stateless
+// with respect to the RNG, so one Dist is safely shared by concurrent
+// clients each holding its own *xrand.Rand.
+type Dist interface {
+	// Next draws the next key index using the caller's generator.
+	Next(r *xrand.Rand) uint64
+	// Keys returns the key-space size.
+	Keys() uint64
+	// Name describes the distribution ("uniform", "zipfian(0.99)").
+	Name() string
+}
+
+// Uniform draws every key with equal probability.
+type Uniform struct {
+	n uint64
+}
+
+// NewUniform creates a uniform distribution over n keys.
+func NewUniform(n uint64) Uniform {
+	if n == 0 {
+		n = 1
+	}
+	return Uniform{n: n}
+}
+
+// Next implements Dist.
+func (u Uniform) Next(r *xrand.Rand) uint64 { return r.Uint64() % u.n }
+
+// Keys implements Dist.
+func (u Uniform) Keys() uint64 { return u.n }
+
+// Name implements Dist.
+func (u Uniform) Name() string { return "uniform" }
+
+// Zipfian draws keys with the YCSB-style zipfian skew (Gray et al.,
+// "Quickly generating billion-record synthetic databases"): rank 0 is the
+// hottest key. theta in (0, 1) sets the skew; 0.99 is the YCSB default,
+// where the hottest ~10% of keys draw most of the traffic. The constants
+// are precomputed at construction (the zeta sum is O(n)), so Next is a
+// few flops.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // pow(0.5, theta)
+}
+
+// DefaultTheta is the YCSB zipfian constant.
+const DefaultTheta = 0.99
+
+// NewZipfian creates a zipfian distribution over n keys with the given
+// theta (0 means DefaultTheta). It panics on theta outside (0, 1).
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	if n == 0 {
+		n = 1
+	}
+	if theta == 0 {
+		theta = DefaultTheta
+	}
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: zipfian theta %v outside (0, 1)", theta))
+	}
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	return &Zipfian{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, theta),
+	}
+}
+
+// zeta is the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Dist.
+func (z *Zipfian) Next(r *xrand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1 % z.n
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// Keys implements Dist.
+func (z *Zipfian) Keys() uint64 { return z.n }
+
+// Name implements Dist.
+func (z *Zipfian) Name() string { return fmt.Sprintf("zipfian(%.2f)", z.theta) }
+
+// ParseDist resolves a distribution spec over n keys: "uniform",
+// "zipfian", or "zipfian:<theta>".
+func ParseDist(spec string, n uint64) (Dist, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(spec), ":")
+	switch strings.ToLower(name) {
+	case "", "uniform":
+		if hasArg {
+			return nil, fmt.Errorf("workload: uniform takes no parameter (got %q)", spec)
+		}
+		return NewUniform(n), nil
+	case "zipfian", "zipf":
+		theta := 0.0
+		if hasArg {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil || v <= 0 || v >= 1 {
+				return nil, fmt.Errorf("workload: bad zipfian theta %q (want 0 < theta < 1)", arg)
+			}
+			theta = v
+		}
+		return NewZipfian(n, theta), nil
+	}
+	return nil, fmt.Errorf("workload: unknown distribution %q (have uniform, zipfian[:theta])", spec)
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+
+	"ssync/internal/xrand"
+)
+
+func TestUniformCoverage(t *testing.T) {
+	const n, draws = 16, 16000
+	d := NewUniform(n)
+	rng := xrand.New(1)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		k := d.Next(rng)
+		if k >= n {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Every key drawn, none wildly over-represented (expected 1000 each).
+	for k, c := range counts {
+		if c == 0 {
+			t.Fatalf("key %d never drawn in %d draws", k, draws)
+		}
+		if c > 3*draws/n {
+			t.Fatalf("key %d drawn %d times, expected ~%d", k, c, draws/n)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 1024, 50000
+	d := NewZipfian(n, 0) // YCSB default theta 0.99
+	rng := xrand.New(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := d.Next(rng)
+		if k >= n {
+			t.Fatalf("draw %d out of range [0, %d)", k, n)
+		}
+		counts[k]++
+	}
+	// Rank 0 is the hottest key, and the head dominates: under theta
+	// 0.99 the top 10% of keys draw well over half the traffic.
+	hot := counts[0]
+	for k := 1; k < n; k++ {
+		if counts[k] > hot {
+			t.Fatalf("key %d (%d draws) hotter than rank 0 (%d)", k, counts[k], hot)
+		}
+		hot = max(hot, counts[k])
+	}
+	head := 0
+	for k := 0; k < n/10; k++ {
+		head += counts[k]
+	}
+	if head < draws/2 {
+		t.Fatalf("top 10%% of keys drew %d of %d draws; zipfian skew missing", head, draws)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	d := NewZipfian(100, 0.8)
+	a, b := xrand.New(42), xrand.New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := d.Next(a), d.Next(b); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestZipfianSharedAcrossGoroutinesDrawsFromFullRange(t *testing.T) {
+	// One Dist, two RNG streams: both must see the whole (skewed) range —
+	// the Dist itself carries no mutable state.
+	d := NewZipfian(64, 0)
+	r1, r2 := xrand.New(3), xrand.New(999)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[d.Next(r1)] = true
+		seen[d.Next(r2)] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("only %d distinct keys of 64 drawn", len(seen))
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	good := map[string]string{
+		"uniform":     "uniform",
+		"":            "uniform",
+		"zipfian":     "zipfian(0.99)",
+		"zipf":        "zipfian(0.99)",
+		"zipfian:0.5": "zipfian(0.50)",
+		" zipfian ":   "zipfian(0.99)",
+	}
+	for spec, want := range good {
+		d, err := ParseDist(spec, 100)
+		if err != nil {
+			t.Fatalf("ParseDist(%q): %v", spec, err)
+		}
+		if d.Name() != want {
+			t.Fatalf("ParseDist(%q).Name() = %q, want %q", spec, d.Name(), want)
+		}
+		if d.Keys() != 100 {
+			t.Fatalf("ParseDist(%q).Keys() = %d", spec, d.Keys())
+		}
+	}
+	for _, spec := range []string{"pareto", "zipfian:2", "zipfian:0", "zipfian:x", "uniform:3"} {
+		if _, err := ParseDist(spec, 100); err == nil {
+			t.Fatalf("ParseDist(%q) must fail", spec)
+		}
+	}
+}
+
+func TestZeroKeySpace(t *testing.T) {
+	// Degenerate key spaces collapse to one key instead of dividing by
+	// zero.
+	rng := xrand.New(1)
+	if k := NewUniform(0).Next(rng); k != 0 {
+		t.Fatalf("uniform over 0 keys drew %d", k)
+	}
+	if k := NewZipfian(0, 0).Next(rng); k != 0 {
+		t.Fatalf("zipfian over 0 keys drew %d", k)
+	}
+	if k := NewZipfian(1, 0.5).Next(rng); k != 0 {
+		t.Fatalf("zipfian over 1 key drew %d", k)
+	}
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memConn is a trivial thread-safe backend for engine tests.
+type memConn struct {
+	mu     *sync.Mutex
+	m      map[string][]byte
+	closed bool
+	failAt int // fail the Nth op with errBoom (0 = never)
+	ops    int
+}
+
+var errBoom = errors.New("boom")
+
+func (c *memConn) tick() error {
+	c.ops++
+	if c.failAt > 0 && c.ops >= c.failAt {
+		return errBoom
+	}
+	return nil
+}
+
+func (c *memConn) Get(key string) ([]byte, bool, error) {
+	if err := c.tick(); err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok, nil
+}
+
+func (c *memConn) Put(key string, value []byte) (bool, error) {
+	if err := c.tick(); err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, existed := c.m[key]
+	c.m[key] = append([]byte(nil), value...)
+	return !existed, nil
+}
+
+func (c *memConn) Delete(key string) (bool, error) {
+	if err := c.tick(); err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, existed := c.m[key]
+	delete(c.m, key)
+	return existed, nil
+}
+
+func (c *memConn) Scan(prefix string, limit int) (int, error) {
+	if err := c.tick(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k := range c.m {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			n++
+			if limit > 0 && n == limit {
+				break
+			}
+		}
+	}
+	return n, nil
+}
+
+func (c *memConn) Close() error { c.closed = true; return nil }
+
+// memBackend tracks every dialed conn.
+type memBackend struct {
+	mu    sync.Mutex
+	conns []*memConn
+	m     map[string][]byte
+}
+
+func newMemBackend() *memBackend { return &memBackend{m: map[string][]byte{}} }
+
+func (b *memBackend) dial(failAt int) func(int) (Conn, error) {
+	return func(int) (Conn, error) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		c := &memConn{mu: &b.mu, m: b.m, failAt: failAt}
+		b.conns = append(b.conns, c)
+		return c, nil
+	}
+}
+
+func TestRunPhases(t *testing.T) {
+	b := newMemBackend()
+	s := Scenario{
+		Keys:      128,
+		Mix:       Mix{Get: 50, Put: 40, Scan: 10},
+		ValueSize: 8,
+		Preload:   64,
+		Phases: []Phase{
+			{Name: "ramp", Clients: 2, Ops: 100},
+			{Name: "steady", Clients: 4, Ops: 200},
+		},
+	}
+	results, err := Run(s, b.dial(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d phase results", len(results))
+	}
+	ramp, steady := results[0], results[1]
+	if ramp.Name != "ramp" || ramp.Clients != 2 || ramp.Ops != 200 {
+		t.Fatalf("ramp = %+v", ramp)
+	}
+	if steady.Name != "steady" || steady.Clients != 4 || steady.Ops != 800 {
+		t.Fatalf("steady = %+v", steady)
+	}
+	if steady.Hits+steady.Misses == 0 {
+		t.Fatal("no gets recorded despite a 50% get mix")
+	}
+	if steady.Hits == 0 {
+		t.Fatal("no hits despite preload")
+	}
+	if steady.Duration <= 0 {
+		t.Fatal("zero duration")
+	}
+	// Preload dialed one conn; each phase dialed its clients; all closed.
+	if len(b.conns) != 1+2+4 {
+		t.Fatalf("dialed %d conns, want 7", len(b.conns))
+	}
+	for i, c := range b.conns {
+		if !c.closed {
+			t.Fatalf("conn %d left open", i)
+		}
+	}
+}
+
+func TestRunDeterministicOps(t *testing.T) {
+	// Same seed ⇒ same tallies (durations aside), run to run. One client:
+	// with several, hits depend on how their writes interleave.
+	run := func() []PhaseResult {
+		b := newMemBackend()
+		res, err := Run(Scenario{Keys: 64, Preload: 32, Seed: 99,
+			Phases: []Phase{{Name: "p", Clients: 1, Ops: 450}}}, b.dial(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a[0].Hits != b[0].Hits || a[0].Misses != b[0].Misses || a[0].Created != b[0].Created {
+		t.Fatalf("nondeterministic tallies: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestRunReportsClientErrors(t *testing.T) {
+	b := newMemBackend()
+	s := Scenario{Keys: 32, Phases: []Phase{{Name: "p", Clients: 2, Ops: 50}}}
+	results, err := Run(s, b.dial(10))
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("failed run must still report its phases, got %d", len(results))
+	}
+	if results[0].Ops >= 100 {
+		t.Fatalf("clients kept going after failure: %d ops", results[0].Ops)
+	}
+}
+
+func TestRunDialError(t *testing.T) {
+	dial := func(i int) (Conn, error) {
+		return nil, fmt.Errorf("refused %d", i)
+	}
+	if _, err := Run(Scenario{Preload: 1, Phases: []Phase{{Name: "p", Clients: 1, Ops: 1}}}, dial); err == nil {
+		t.Fatal("preload dial failure must surface")
+	}
+}
+
+func TestRampSteadyShape(t *testing.T) {
+	ph := RampSteady(8, 1000)
+	if len(ph) != 2 || ph[0].Name != "ramp" || ph[1].Name != "steady" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if ph[0].Clients != 4 || ph[0].Ops != 100 || ph[1].Clients != 8 || ph[1].Ops != 1000 {
+		t.Fatalf("phases = %+v", ph)
+	}
+	tiny := RampSteady(1, 5)
+	if tiny[0].Clients != 1 || tiny[0].Ops != 1 {
+		t.Fatalf("tiny ramp = %+v", tiny[0])
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("95:5")
+	if err != nil || m != (Mix{Get: 95, Put: 5}) {
+		t.Fatalf("95:5 = %+v, %v", m, err)
+	}
+	m, err = ParseMix("90:8:2")
+	if err != nil || m != (Mix{Get: 90, Put: 8, Scan: 2}) {
+		t.Fatalf("90:8:2 = %+v, %v", m, err)
+	}
+	if m.String() != "90:8:2" {
+		t.Fatalf("String = %q", m.String())
+	}
+	for _, bad := range []string{"", "100", "50:49", "50:49:2", "a:b", "-5:105", "25:25:25:25"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) must fail", bad)
+		}
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if k := Key(7); k != "key-00000007" {
+		t.Fatalf("Key(7) = %q", k)
+	}
+	// Fixed width keeps lexicographic order aligned with numeric order.
+	if Key(9) >= Key(10) {
+		t.Fatal("key order broken")
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	b := newMemBackend()
+	_, err := Run(Scenario{Phases: []Phase{{Name: "bad", Clients: 0, Ops: 10}}}, b.dial(0))
+	if err == nil {
+		t.Fatal("zero-client phase must fail")
+	}
+}
