@@ -35,6 +35,8 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	preload := fs.Int("preload", -1, "keys preloaded before the run (-1 = half the key space)")
 	seed := fs.Uint64("seed", 0, "workload RNG seed (0 = fixed default)")
 	local := fs.Bool("local", false, "drive in-process handles instead of the wire protocol")
+	batch := fs.Int("batch", 1, "ops per multi-op request (1 = scalar ops)")
+	pipeline := fs.Int("pipeline", 1, "op groups each client keeps in flight (1 = lock-step)")
 	jsonOut := fs.Bool("json", false, "emit JSON")
 	csvOut := fs.Bool("csv", false, "emit CSV")
 	if code, ok := parseArgs(fs, argv); !ok {
@@ -70,19 +72,36 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	if *preload < 0 {
 		*preload = int(*keys / 2)
 	}
+	if *batch < 1 {
+		*batch = 1
+	}
+	if *batch > store.MaxBatchOps {
+		fmt.Fprintf(stderr, "ssync store: -batch %d exceeds the wire limit of %d ops per frame\n",
+			*batch, store.MaxBatchOps)
+		return 2
+	}
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+	pipelined := !*local && (*batch > 1 || *pipeline > 1)
 
-	st := store.New(store.Options{
+	opt := store.Options{
 		Shards:     *shards,
 		Buckets:    *buckets,
 		Lock:       algorithm,
 		MaxThreads: *clients + 2,
-	})
+	}
+	st := store.New(opt)
 	srv := store.NewServer(st, 2)
 	dial := func(c int) (workload.Conn, error) {
-		if *local {
+		switch {
+		case *local:
 			return store.Driver{C: st.NewLocalConn(c % 2)}, nil
+		case pipelined:
+			return store.Driver{C: srv.PipeAsyncClient(*pipeline)}, nil
+		default:
+			return store.Driver{C: srv.PipeClient()}, nil
 		}
-		return store.Driver{C: srv.PipeClient()}, nil
 	}
 
 	scenario := workload.Scenario{
@@ -93,6 +112,38 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 		ScanLimit: *scanLimit,
 		Phases:    workload.RampSteady(*clients, *ops),
 		Seed:      *seed,
+		Batch:     *batch,
+		Pipeline:  *pipeline,
+	}
+
+	experiment := "store/" + strings.ToLower(string(algorithm))
+	var results []harness.Result
+
+	// A pipelined run carries its own lock-step baseline: the same
+	// scenario over one-in-flight wire clients against a fresh store, so
+	// the emitted table shows what depth×batch bought on this exact
+	// alg/shard config.
+	if pipelined {
+		base := store.New(opt)
+		baseSrv := store.NewServer(base, 2)
+		baseDial := func(c int) (workload.Conn, error) {
+			return store.Driver{C: baseSrv.PipeClient()}, nil
+		}
+		baseScenario := scenario
+		baseScenario.Batch, baseScenario.Pipeline = 1, 1
+		baseScenario.Preload = *preload
+		basePhases, err := workload.Run(baseScenario, baseDial)
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync store: lock-step baseline:", err)
+			return 1
+		}
+		baseSteady := basePhases[len(basePhases)-1]
+		fmt.Fprintf(stderr, "%s over wire (lock-step baseline):\n", base)
+		for _, ph := range basePhases {
+			fmt.Fprintln(stderr, " ", ph)
+		}
+		results = append(results,
+			oneResult(experiment, *clients, "lockstep wire Kops/s", baseSteady.Kops()))
 	}
 
 	// Preload before the counter snapshot, so per-shard throughput
@@ -118,8 +169,11 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	transport := "wire"
-	if *local {
+	switch {
+	case *local:
 		transport = "local"
+	case pipelined:
+		transport = fmt.Sprintf("pipelined wire (depth %d × batch %d)", *pipeline, *batch)
 	}
 	fmt.Fprintf(stderr, "%s over %s, %s keys, mix %s:\n", st, transport, dist.Name(), mix)
 	var total time.Duration
@@ -128,7 +182,7 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 		total += ph.Duration
 	}
 
-	results := shardResults("store/"+strings.ToLower(string(algorithm)), *clients, phases, before, after, total)
+	results = append(results, shardResults(experiment, *clients, phases, before, after, total)...)
 	if err := emitter.Emit(stdout, results); err != nil {
 		fmt.Fprintln(stderr, "ssync store:", err)
 		return 1
@@ -136,20 +190,25 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// oneResult shapes a single measurement into a harness result row.
+func oneResult(experiment string, clients int, metric string, v float64) harness.Result {
+	var o stats.Online
+	o.Add(v)
+	return harness.Result{
+		Experiment: experiment,
+		Platform:   harness.Native,
+		Threads:    clients,
+		Metric:     metric,
+		Stats:      o.Summary(),
+	}
+}
+
 // shardResults shapes the run into harness results: steady-phase totals
 // plus per-shard throughput over the whole run, one metric per shard.
 func shardResults(experiment string, clients int, phases []workload.PhaseResult,
 	before, after []store.Counters, total time.Duration) []harness.Result {
 	one := func(metric string, v float64) harness.Result {
-		var o stats.Online
-		o.Add(v)
-		return harness.Result{
-			Experiment: experiment,
-			Platform:   harness.Native,
-			Threads:    clients,
-			Metric:     metric,
-			Stats:      o.Summary(),
-		}
+		return oneResult(experiment, clients, metric, v)
 	}
 	steady := phases[len(phases)-1]
 	results := []harness.Result{one("total Kops/s", steady.Kops())}

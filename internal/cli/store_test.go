@@ -77,7 +77,62 @@ func TestStoreErrors(t *testing.T) {
 	if _, _, code := runMain(t, "store", "-json", "-csv"); code != 2 {
 		t.Error("-json -csv must exit 2")
 	}
+	if _, _, code := runMain(t, "store", "-batch", "5000"); code != 2 {
+		t.Error("-batch above the wire limit must exit 2")
+	}
 	if _, _, code := runMain(t, "store", "-h"); code != 0 {
 		t.Error("store -h must exit 0")
+	}
+}
+
+// TestStorePipelineBeatsLockstep is the issue's acceptance command
+// (scaled down): `ssync store -pipeline 16 -batch 8` must beat the
+// lock-step wire client's Kops/s on the same alg/shard config, with
+// both numbers in the same emitted results.
+func TestStorePipelineBeatsLockstep(t *testing.T) {
+	out, errOut, code := runMain(t,
+		"store", "-alg", "mcs", "-shards", "16", "-pipeline", "16", "-batch", "8",
+		"-clients", "4", "-ops", "4000", "-keys", "4096", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var results []result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	var lockstep, pipelined float64
+	for _, r := range results {
+		switch r.Metric {
+		case "lockstep wire Kops/s":
+			lockstep = r.Stats.Mean
+		case "total Kops/s":
+			pipelined = r.Stats.Mean
+		}
+	}
+	if lockstep == 0 || pipelined == 0 {
+		t.Fatalf("missing lockstep/pipelined rows in %s", out)
+	}
+	if pipelined <= lockstep {
+		t.Fatalf("pipelined wire (%.1f Kops/s) does not beat lock-step (%.1f Kops/s)", pipelined, lockstep)
+	}
+	if !strings.Contains(errOut, "pipelined wire (depth 16 × batch 8)") ||
+		!strings.Contains(errOut, "lock-step baseline") {
+		t.Fatalf("transport summaries missing from stderr: %s", errOut)
+	}
+}
+
+// TestStorePipelineTable: the default table output carries both rows,
+// so the comparison is visible without machine parsing.
+func TestStorePipelineTable(t *testing.T) {
+	out, _, code := runMain(t,
+		"store", "-alg", "ticket", "-shards", "4", "-pipeline", "8", "-batch", "4",
+		"-clients", "2", "-ops", "1200", "-keys", "1024")
+	if code != 0 {
+		t.Fatal("pipelined table run failed")
+	}
+	for _, want := range []string{"lockstep wire Kops/s", "total Kops/s", "shard03 Kops/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
 	}
 }

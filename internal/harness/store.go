@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 
 	"ssync/internal/locks"
@@ -20,6 +21,13 @@ import (
 // storeShards is the shard count of the registered experiments; small
 // enough that zipfian traffic meaningfully contends the hot shards.
 const storeShards = 16
+
+// storePipeGrid is the depth×batch sweep of the store-pipe experiments:
+// the lock-step scalar baseline, pipelining alone, batching alone, and
+// both together — the four corners that show which lever pays where.
+var storePipeGrid = []struct{ depth, batch int }{
+	{1, 1}, {16, 1}, {1, 8}, {16, 8},
+}
 
 func init() {
 	for _, alg := range locks.All {
@@ -60,6 +68,57 @@ func init() {
 					}
 					steady := results[len(results)-1]
 					out = append(out, Sample{Metric: mode + " Kops/s", Value: steady.Kops()})
+				}
+				return out, nil
+			},
+		})
+	}
+
+	// store-pipe/<alg>: the same store behind the multiplexed async
+	// client, sweeping pipeline depth × batch size. The d1×b1 corner is
+	// the lock-step wire baseline in async clothing; the far corner shows
+	// what amortizing messages (batch frames) and overlapping round trips
+	// (the in-flight window) buy on top of the shard-lock choice.
+	for _, alg := range locks.All {
+		alg := alg
+		Register(Def{
+			ID: "store-pipe/" + strings.ToLower(string(alg)),
+			Doc: "host: sharded KVS with " + string(alg) +
+				" shard locks behind the pipelined wire client, depth×batch sweep Kops/s",
+			On: []string{Native},
+			Runner: func(s Shard) ([]Sample, error) {
+				ops := nativeOps(s.Config) / 4
+				if ops < 200 {
+					ops = 200
+				}
+				var out []Sample
+				for _, cell := range storePipeGrid {
+					st := store.New(store.Options{
+						Shards:     storeShards,
+						Lock:       alg,
+						MaxThreads: s.Threads + 2,
+					})
+					srv := store.NewServer(st, 2)
+					dial := func(c int) (workload.Conn, error) {
+						return store.Driver{C: srv.PipeAsyncClient(cell.depth)}, nil
+					}
+					scenario := workload.Scenario{
+						Dist:     workload.NewZipfian(4096, 0),
+						Mix:      workload.Mix{Get: 95, Put: 5},
+						Preload:  2048,
+						Phases:   workload.RampSteady(s.Threads, ops),
+						Batch:    cell.batch,
+						Pipeline: cell.depth,
+					}
+					results, err := workload.Run(scenario, dial)
+					if err != nil {
+						return nil, err
+					}
+					steady := results[len(results)-1]
+					out = append(out, Sample{
+						Metric: fmt.Sprintf("d%02d×b%02d Kops/s", cell.depth, cell.batch),
+						Value:  steady.Kops(),
+					})
 				}
 				return out, nil
 			},

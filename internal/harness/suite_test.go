@@ -20,6 +20,9 @@ func TestSuiteRegistered(t *testing.T) {
 		"native/locks", "native/lockfree", "native/ssht", "native/kvs", "native/tm", "native/mp",
 		"store/tas", "store/ttas", "store/ticket", "store/array", "store/mutex",
 		"store/mcs", "store/clh", "store/hclh", "store/hticket",
+		"store-pipe/tas", "store-pipe/ttas", "store-pipe/ticket", "store-pipe/array",
+		"store-pipe/mutex", "store-pipe/mcs", "store-pipe/clh", "store-pipe/hclh",
+		"store-pipe/hticket",
 	}
 	for _, name := range want {
 		if _, err := Default.ByName(name); err != nil {

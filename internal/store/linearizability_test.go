@@ -2,180 +2,289 @@ package store
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"testing"
 
 	"ssync/internal/locks"
+	"ssync/internal/store/linearize"
 	"ssync/internal/workload"
 	"ssync/internal/xrand"
 )
 
-// Linearizability stress for the sharded store, in the style of
-// internal/ssht's: every key has exactly one writer whose versions only
-// grow, every reader reads every key, and linearizability then implies
-// each reader observes a non-decreasing version per key. The value
-// carries the version twice (raw and bit-flipped), so a torn read is
-// detectable without an interleaving oracle. Run with -race; CI does.
+// Linearizability stress for the sharded store: concurrent clients run
+// an unconstrained put/get/delete mix over a few hot keys, recording
+// every operation's invocation/response interval, and the Wing–Gong
+// checker (internal/store/linearize) then decides per key whether some
+// linearization explains every observed value, created flag and
+// presence bit. This replaces the earlier ad-hoc monotonic-version
+// assertions: no workload shaping, real histories, a real checker. Run
+// with -race; CI does.
 
-func versionValue(v uint64) []byte {
-	b := make([]byte, 16)
-	binary.LittleEndian.PutUint64(b[:8], v)
-	binary.LittleEndian.PutUint64(b[8:], ^v)
-	return b
+// argValue encodes a put argument as the stored value.
+func argValue(arg uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], arg)
+	return b[:]
 }
 
-func checkVersionValue(t *testing.T, ctx string, b []byte) uint64 {
+// decodeArg recovers a put argument from a read value.
+func decodeArg(t *testing.T, ctx string, b []byte) uint64 {
 	t.Helper()
-	if len(b) != 16 {
-		t.Fatalf("%s: value has %d bytes, want 16", ctx, len(b))
+	if len(b) != 8 {
+		t.Fatalf("%s: value has %d bytes, want 8 (torn or foreign write)", ctx, len(b))
 	}
-	v := binary.LittleEndian.Uint64(b[:8])
-	if binary.LittleEndian.Uint64(b[8:]) != ^v {
-		t.Fatalf("%s: torn value % x", ctx, b)
-	}
-	return v
+	return binary.LittleEndian.Uint64(b)
 }
 
+// checkHistories runs the checker over every key's history.
+func checkHistories(t *testing.T, ctx string, hists []*linearize.History) {
+	t.Helper()
+	for k, h := range hists {
+		ops := h.Ops()
+		res := linearize.CheckDefault(ops)
+		if !res.Decided {
+			t.Fatalf("%s: key %d: checker undecided after %d nodes over %d ops — shrink the history",
+				ctx, k, res.Visited, len(ops))
+		}
+		if !res.Ok {
+			t.Fatalf("%s: key %d: history of %d ops is NOT linearizable (visited %d); blocked op: %v",
+				ctx, k, len(ops), res.Visited, res.Failed)
+		}
+	}
+}
+
+// mixedOp draws the next op: half gets, a third puts, the rest deletes.
+func mixedOp(rng *xrand.Rand) (kind linearize.Kind, keyIdx uint64) {
+	keyIdx = rng.Uint64()
+	switch d := rng.Uint64() % 100; {
+	case d < 50:
+		kind = linearize.Get
+	case d < 85:
+		kind = linearize.Put
+	default:
+		kind = linearize.Delete
+	}
+	return kind, keyIdx
+}
+
+// runLinearClient drives ops operations over conn, recording into hists
+// (one history per key). Put args are globally unique per (client, seq).
+func runLinearClient(t *testing.T, conn Conn, client, nKeys, ops int, hists []*linearize.History) {
+	rng := xrand.New(uint64(client)*0x9E3779B97F4A7C15 + 11)
+	seq := uint64(0)
+	for i := 0; i < ops; i++ {
+		kind, draw := mixedOp(rng)
+		k := int(draw % uint64(nKeys))
+		key := workload.Key(uint64(k))
+		h := hists[k]
+		op := linearize.Op{Client: client, Kind: kind}
+		op.Call = h.Now()
+		switch kind {
+		case linearize.Get:
+			v, found, err := conn.Get(key)
+			op.Ret = h.Now()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			op.Found = found
+			if found {
+				op.Val = decodeArg(t, fmt.Sprintf("client %d key %d", client, k), v)
+			}
+		case linearize.Put:
+			seq++
+			arg := uint64(client)<<32 | seq
+			created, err := conn.Put(key, argValue(arg))
+			op.Ret = h.Now()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			op.Arg, op.Found = arg, created
+		case linearize.Delete:
+			existed, err := conn.Delete(key)
+			op.Ret = h.Now()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			op.Found = existed
+		}
+		h.Add(op)
+	}
+}
+
+func newHistories(nKeys int) []*linearize.History {
+	hists := make([]*linearize.History, nKeys)
+	for i := range hists {
+		hists[i] = linearize.NewHistory()
+	}
+	return hists
+}
+
+// TestLinearizableStore checks the shard layer directly through
+// per-goroutine handles, sweeping the lock algorithms — including both
+// hierarchical cohort locks, the system-level test the paper's NUMA
+// locks never got in PR 1.
 func TestLinearizableStore(t *testing.T) {
 	const (
-		nWriters = 4
-		nReaders = 4
-		nKeys    = 32 // few keys over few shards: heavy lock sharing
+		nClients = 5
+		nKeys    = 8 // few keys over few shards: heavy lock sharing
 	)
-	ops := 3000
+	ops := 500
 	if testing.Short() {
-		ops = 800
+		ops = 150
 	}
-	// The sweep includes both hierarchical locks — the shard layer is the
-	// system-level test the paper's cohort locks never got in PR 1.
 	for _, alg := range []locks.Algorithm{locks.TAS, locks.TICKET, locks.MCS, locks.CLH, locks.HCLH, locks.HTICKET, locks.MUTEX} {
 		alg := alg
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()
 			s := New(Options{Shards: 2, Buckets: 4, Lock: alg,
-				MaxThreads: nWriters + nReaders + 2, Nodes: 2})
+				MaxThreads: nClients + 2, Nodes: 2})
+			hists := newHistories(nKeys)
 			var wg sync.WaitGroup
-			// Writers: key k is owned by writer k%nWriters; versions only
-			// grow, and a key is sometimes deleted then reinserted at a
-			// higher version.
-			for w := 0; w < nWriters; w++ {
-				w := w
+			for c := 0; c < nClients; c++ {
+				c := c
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					h := s.NewHandle(w % 2)
-					rng := xrand.New(uint64(w)*7919 + 1)
-					version := uint64(1)
-					for i := 0; i < ops; i++ {
-						k := workload.Key(uint64(w) + nWriters*(rng.Uint64()%(nKeys/nWriters)))
-						if rng.Intn(8) == 0 {
-							h.Delete(k)
-						} else {
-							h.Put(k, versionValue(version))
-							version++
-						}
-					}
-				}()
-			}
-			for r := 0; r < nReaders; r++ {
-				r := r
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					h := s.NewHandle(r % 2)
-					rng := xrand.New(uint64(r)*104729 + 5)
-					var lastSeen [nKeys]uint64
-					for i := 0; i < ops; i++ {
-						k := rng.Uint64() % nKeys
-						v, ok := h.Get(workload.Key(k))
-						if !ok {
-							continue
-						}
-						ver := checkVersionValue(t, string(alg), v)
-						if ver < lastSeen[k] {
-							t.Errorf("%s: key %d went backwards: version %d after %d",
-								alg, k, ver, lastSeen[k])
-							return
-						}
-						lastSeen[k] = ver
-					}
+					runLinearClient(t, s.NewLocalConn(c%2), c, nKeys, ops, hists)
 				}()
 			}
 			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			checkHistories(t, string(alg), hists)
 		})
 	}
 }
 
-// TestLinearizableOverWire runs the same monotonic-versions check through
-// the wire protocol: writers and readers are real clients of a served
-// store, so the framing, parsing and per-connection handles are all on
-// the checked path.
-func TestLinearizableOverWire(t *testing.T) {
+// TestLinearizableLockstepClient records the same histories through the
+// wire protocol's lock-step clients, so framing, parsing and the
+// per-connection server handles are all on the checked path.
+func TestLinearizableLockstepClient(t *testing.T) {
 	const (
-		nWriters = 3
-		nReaders = 3
-		nKeys    = 24
+		nClients = 4
+		nKeys    = 6
 	)
-	ops := 1200
+	ops := 400
 	if testing.Short() {
-		ops = 400
+		ops = 120
 	}
 	s := New(Options{Shards: 2, Buckets: 4, Lock: locks.MCS})
 	srv := NewServer(s, 2)
+	hists := newHistories(nKeys)
 	var wg sync.WaitGroup
-	for w := 0; w < nWriters; w++ {
-		w := w
+	for c := 0; c < nClients; c++ {
+		c := c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := srv.PipeClient()
-			defer c.Close()
-			rng := xrand.New(uint64(w)*6151 + 9)
-			version := uint64(1)
-			for i := 0; i < ops; i++ {
-				k := workload.Key(uint64(w) + nWriters*(rng.Uint64()%(nKeys/nWriters)))
-				if rng.Intn(8) == 0 {
-					if _, err := c.Delete(k); err != nil {
-						t.Error(err)
-						return
-					}
-				} else {
-					if _, err := c.Put(k, versionValue(version)); err != nil {
-						t.Error(err)
-						return
-					}
-					version++
-				}
-			}
+			cl := srv.PipeClient()
+			defer cl.Close()
+			runLinearClient(t, cl, c, nKeys, ops, hists)
 		}()
 	}
-	for r := 0; r < nReaders; r++ {
-		r := r
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	checkHistories(t, "lockstep", hists)
+}
+
+// TestPipelineLinearizable holds the multiplexed async client to the
+// same standard with a real in-flight window: each client keeps several
+// tagged requests outstanding, stamping invocation at submission and
+// response at Wait — exactly the interval in which the op took effect.
+func TestPipelineLinearizable(t *testing.T) {
+	const (
+		nClients = 4
+		nKeys    = 6
+		depth    = 8
+	)
+	ops := 400
+	if testing.Short() {
+		ops = 120
+	}
+	s := New(Options{Shards: 2, Buckets: 4, Lock: locks.TICKET})
+	srv := NewServer(s, 2)
+	hists := newHistories(nKeys)
+
+	type pendingOp struct {
+		op  linearize.Op
+		k   int
+		fut *Future
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		c := c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := srv.PipeClient()
-			defer c.Close()
-			rng := xrand.New(uint64(r)*31337 + 2)
-			var lastSeen [nKeys]uint64
-			for i := 0; i < ops; i++ {
-				k := rng.Uint64() % nKeys
-				v, ok, err := c.Get(workload.Key(k))
+			cl := srv.PipeAsyncClient(depth)
+			defer cl.Close()
+			rng := xrand.New(uint64(c)*0x2545F4914F6CDD1D + 77)
+			seq := uint64(0)
+			window := make([]pendingOp, 0, depth)
+			settle := func(p pendingOp) bool {
+				h := hists[p.k]
+				resp, err := p.fut.Wait()
+				p.op.Ret = h.Now()
 				if err != nil {
 					t.Error(err)
+					return false
+				}
+				switch p.op.Kind {
+				case linearize.Get:
+					p.op.Found = resp.Status == StatusOK
+					if p.op.Found {
+						p.op.Val = decodeArg(t, fmt.Sprintf("async client %d key %d", c, p.k), resp.Value)
+					}
+				case linearize.Put:
+					p.op.Found = resp.Created
+				case linearize.Delete:
+					p.op.Found = resp.Status == StatusOK
+				}
+				h.Add(p.op)
+				return true
+			}
+			for i := 0; i < ops; i++ {
+				kind, draw := mixedOp(rng)
+				k := int(draw % uint64(nKeys))
+				key := workload.Key(uint64(k))
+				p := pendingOp{op: linearize.Op{Client: c, Kind: kind}, k: k}
+				p.op.Call = hists[k].Now()
+				switch kind {
+				case linearize.Get:
+					p.fut = cl.GetAsync(key)
+				case linearize.Put:
+					seq++
+					p.op.Arg = uint64(c)<<32 | seq
+					p.fut = cl.PutAsync(key, argValue(p.op.Arg))
+				case linearize.Delete:
+					p.fut = cl.DeleteAsync(key)
+				}
+				if len(window) == depth {
+					oldest := window[0]
+					window = append(window[:0], window[1:]...)
+					if !settle(oldest) {
+						return
+					}
+				}
+				window = append(window, p)
+			}
+			for _, p := range window {
+				if !settle(p) {
 					return
 				}
-				if !ok {
-					continue
-				}
-				ver := checkVersionValue(t, "wire", v)
-				if ver < lastSeen[k] {
-					t.Errorf("wire: key %d went backwards: version %d after %d", k, ver, lastSeen[k])
-					return
-				}
-				lastSeen[k] = ver
 			}
 		}()
 	}
 	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	checkHistories(t, "pipeline", hists)
 }

@@ -1,0 +1,306 @@
+// Package linearize is a history-recording linearizability checker for
+// single-key store histories: concurrent clients record every Put, Get
+// and Delete with wall-clock invocation/response intervals, and Check
+// searches for a legal sequential witness in the style of Wing & Gong
+// ("Testing and verifying concurrent objects", JPDC 1993) with the
+// state+set memoization of Lowe's extension and a bounded search budget.
+//
+// It replaces the suite's earlier ad-hoc monotonic-version assertions:
+// instead of constraining the workload so that a per-key version number
+// may only grow, clients run an arbitrary put/get/delete mix and the
+// checker decides after the fact whether some linearization of the
+// recorded intervals explains every observed response. Linearizability
+// is local (Herlihy & Wing), so multi-key runs check each key's history
+// independently.
+//
+// The model object is a single register-with-presence: Put(v) makes the
+// key present with value v and reports whether it was newly inserted,
+// Get reports (value, present), Delete reports whether the key was
+// present and makes it absent — exactly the observable surface of one
+// key of internal/store.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind is the operation class of a history event.
+type Kind uint8
+
+// The three single-key operations of the store.
+const (
+	Put Kind = iota
+	Get
+	Delete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Put:
+		return "put"
+	case Get:
+		return "get"
+	case Delete:
+		return "delete"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one completed operation of a single-key history.
+type Op struct {
+	// Client identifies the issuing client (diagnostics only).
+	Client int
+	// Kind is the operation class.
+	Kind Kind
+	// Arg is the value written (Put only).
+	Arg uint64
+	// Val is the value read (Get with Found=true only).
+	Val uint64
+	// Found is the presence observation: for Get whether the key was
+	// present, for Put whether the key was newly inserted (the store's
+	// created flag, inverted presence), for Delete whether the key
+	// existed.
+	Found bool
+	// Call and Ret are the invocation and response times (any monotonic
+	// clock; History uses nanoseconds since its creation). An op's
+	// effect took place at some instant in [Call, Ret].
+	Call, Ret int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Put:
+		return fmt.Sprintf("c%d put(%d)=created:%v @[%d,%d]", o.Client, o.Arg, o.Found, o.Call, o.Ret)
+	case Get:
+		if o.Found {
+			return fmt.Sprintf("c%d get()=%d @[%d,%d]", o.Client, o.Val, o.Call, o.Ret)
+		}
+		return fmt.Sprintf("c%d get()=absent @[%d,%d]", o.Client, o.Call, o.Ret)
+	default:
+		return fmt.Sprintf("c%d delete()=existed:%v @[%d,%d]", o.Client, o.Found, o.Call, o.Ret)
+	}
+}
+
+// Result is a Check verdict.
+type Result struct {
+	// Ok reports that a linearization exists. Only meaningful when
+	// Decided is true.
+	Ok bool
+	// Decided is false when the search exhausted its node budget before
+	// finding a witness or refuting all orders.
+	Decided bool
+	// Visited counts explored search configurations.
+	Visited int
+	// Failed, when !Ok && Decided, is an op no legal linearization can
+	// place (the first blocked minimal op found) — diagnostics only.
+	Failed *Op
+}
+
+// regState is the model: one register with presence.
+type regState struct {
+	present bool
+	val     uint64
+}
+
+// step applies op to the state, reporting whether the op's recorded
+// outputs are consistent; the returned state is the post-state.
+func step(s regState, op *Op) (regState, bool) {
+	switch op.Kind {
+	case Put:
+		// created must equal "was absent".
+		if op.Found != !s.present {
+			return s, false
+		}
+		return regState{present: true, val: op.Arg}, true
+	case Get:
+		if op.Found {
+			return s, s.present && s.val == op.Val
+		}
+		return s, !s.present
+	case Delete:
+		if op.Found != s.present {
+			return s, false
+		}
+		return regState{}, true
+	}
+	return s, false
+}
+
+// DefaultBudget is the node budget CheckDefault uses — generous for the
+// near-sequential histories real stress runs record, small enough that
+// a pathological history fails fast with Decided=false instead of
+// hanging the test run.
+const DefaultBudget = 2_000_000
+
+// CheckDefault runs Check with DefaultBudget.
+func CheckDefault(history []Op) Result { return Check(history, DefaultBudget) }
+
+// Check searches for a linearization of history: a total order of all
+// ops that respects real time (an op that returned before another was
+// invoked stays before it) and in which every op's recorded outputs
+// match the sequential register semantics. maxNodes bounds the visited
+// search configurations; exceeding it yields Decided=false.
+//
+// The search is the Wing–Gong recursion: repeatedly linearize one
+// minimal op (one no unlinearized op wholly precedes), checking model
+// consistency, and backtrack on dead ends. Visited (linearized-set,
+// state) configurations are memoized, which makes the common
+// near-sequential histories effectively linear-time.
+func Check(history []Op, maxNodes int) Result {
+	n := len(history)
+	if n == 0 {
+		return Result{Ok: true, Decided: true}
+	}
+	if n > maxHistory {
+		// The bitmask memo key caps the history length; refuse rather
+		// than silently degrade.
+		return Result{Decided: false}
+	}
+	ops := make([]Op, n)
+	copy(ops, history)
+	// Sorting by invocation keeps the minimal-op scan cheap and the
+	// memo keys stable under input permutation.
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+
+	c := checker{ops: ops, budget: maxNodes, memo: make(map[memoKey]struct{})}
+	c.mask = make([]uint64, (n+63)/64)
+	ok := c.dfs(regState{}, 0)
+	if c.exhausted {
+		return Result{Decided: false, Visited: c.visited}
+	}
+	return Result{Ok: ok, Decided: true, Visited: c.visited, Failed: c.failed}
+}
+
+// maxHistory bounds the per-key history length Check accepts (the memo
+// key packs the linearized-set bitmask into a fixed array).
+const maxHistory = 64 * memoWords
+
+const memoWords = 24 // 1536 ops
+
+type memoKey struct {
+	mask    [memoWords]uint64
+	present bool
+	val     uint64
+}
+
+type checker struct {
+	ops       []Op
+	mask      []uint64 // linearized set
+	memo      map[memoKey]struct{}
+	visited   int
+	budget    int
+	exhausted bool
+	failed    *Op
+}
+
+func (c *checker) linearized(i int) bool { return c.mask[i>>6]&(1<<(i&63)) != 0 }
+func (c *checker) set(i int)             { c.mask[i>>6] |= 1 << (i & 63) }
+func (c *checker) clear(i int)           { c.mask[i>>6] &^= 1 << (i & 63) }
+
+func (c *checker) key(s regState) memoKey {
+	k := memoKey{present: s.present, val: s.val}
+	copy(k.mask[:], c.mask)
+	return k
+}
+
+// dfs linearizes the remaining ops from state s; done counts linearized
+// ops. It returns true when a full linearization exists.
+func (c *checker) dfs(s regState, done int) bool {
+	if done == len(c.ops) {
+		return true
+	}
+	c.visited++
+	if c.visited > c.budget {
+		c.exhausted = true
+		return false
+	}
+	key := c.key(s)
+	if _, seen := c.memo[key]; seen {
+		return false
+	}
+
+	// minRet is the earliest response among unlinearized ops: any op
+	// invoked after it cannot be linearized next (its predecessor in
+	// real time is still pending), and ops are sorted by Call, so the
+	// scan stops at the first such op.
+	minRet := int64(1<<63 - 1)
+	for i, op := range c.ops {
+		if !c.linearized(i) && op.Ret < minRet {
+			minRet = op.Ret
+		}
+	}
+	blockedAll := true
+	for i := range c.ops {
+		if c.linearized(i) {
+			continue
+		}
+		op := &c.ops[i]
+		if op.Call > minRet {
+			break // sorted by Call: no further candidates
+		}
+		next, ok := step(s, op)
+		if !ok {
+			continue
+		}
+		blockedAll = false
+		c.set(i)
+		if c.dfs(next, done+1) {
+			return true
+		}
+		c.clear(i)
+		if c.exhausted {
+			return false
+		}
+	}
+	if blockedAll && c.failed == nil {
+		// Every minimal op is inconsistent here; remember one for the
+		// failure report.
+		for i := range c.ops {
+			if !c.linearized(i) {
+				c.failed = &c.ops[i]
+				break
+			}
+		}
+	}
+	c.memo[key] = struct{}{}
+	return false
+}
+
+// History records one key's operations concurrently: clients stamp
+// intervals with Now and append completed ops with Add. The zero value
+// is not ready; use NewHistory.
+type History struct {
+	start time.Time
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// NewHistory starts an empty history; Now is measured from this call.
+func NewHistory() *History { return &History{start: time.Now()} }
+
+// Now returns the current monotonic offset for stamping Call/Ret.
+func (h *History) Now() int64 { return int64(time.Since(h.start)) }
+
+// Add appends one completed op; safe for concurrent use.
+func (h *History) Add(op Op) {
+	h.mu.Lock()
+	h.ops = append(h.ops, op)
+	h.mu.Unlock()
+}
+
+// Ops returns the recorded history (call after all clients stopped).
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Op(nil), h.ops...)
+}
+
+// Len reports the recorded op count; safe for concurrent use.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.ops)
+}

@@ -1,0 +1,169 @@
+package linearize
+
+import (
+	"testing"
+
+	"ssync/internal/xrand"
+)
+
+// seqOps builds the sequential history put(1), get()=1, delete, get()=absent.
+func seqOps() []Op {
+	return []Op{
+		{Kind: Put, Arg: 1, Found: true, Call: 0, Ret: 1},
+		{Kind: Get, Val: 1, Found: true, Call: 2, Ret: 3},
+		{Kind: Delete, Found: true, Call: 4, Ret: 5},
+		{Kind: Get, Found: false, Call: 6, Ret: 7},
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	res := CheckDefault(seqOps())
+	if !res.Decided || !res.Ok {
+		t.Fatalf("valid sequential history rejected: %+v", res)
+	}
+	if res := CheckDefault(nil); !res.Ok || !res.Decided {
+		t.Fatalf("empty history rejected: %+v", res)
+	}
+}
+
+func TestInputOrderIrrelevant(t *testing.T) {
+	ops := seqOps()
+	ops[0], ops[3] = ops[3], ops[0]
+	ops[1], ops[2] = ops[2], ops[1]
+	if res := CheckDefault(ops); !res.Ok {
+		t.Fatalf("permuted input of a valid history rejected: %+v", res)
+	}
+}
+
+func TestConcurrentReadSeesEitherSide(t *testing.T) {
+	// put(7) overlaps both gets; one sees the old absence, one the new
+	// value — both are explained by placing the put between them.
+	ops := []Op{
+		{Client: 0, Kind: Put, Arg: 7, Found: true, Call: 0, Ret: 100},
+		{Client: 1, Kind: Get, Found: false, Call: 10, Ret: 20},
+		{Client: 2, Kind: Get, Val: 7, Found: true, Call: 30, Ret: 40},
+	}
+	if res := CheckDefault(ops); !res.Ok || !res.Decided {
+		t.Fatalf("legal concurrent history rejected: %+v", res)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	ops := []Op{
+		{Kind: Put, Arg: 1, Found: true, Call: 0, Ret: 1},
+		{Kind: Put, Arg: 2, Found: false, Call: 2, Ret: 3},
+		{Kind: Get, Val: 1, Found: true, Call: 4, Ret: 5}, // strictly after put(2)
+	}
+	res := CheckDefault(ops)
+	if !res.Decided || res.Ok {
+		t.Fatalf("stale read accepted: %+v", res)
+	}
+	if res.Failed == nil {
+		t.Fatal("failure report missing the blocked op")
+	}
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	// A read of a value nobody wrote.
+	ops := []Op{
+		{Kind: Put, Arg: 1, Found: true, Call: 0, Ret: 1},
+		{Kind: Get, Val: 9, Found: true, Call: 2, Ret: 3},
+	}
+	if res := CheckDefault(ops); res.Ok {
+		t.Fatalf("phantom value accepted: %+v", res)
+	}
+}
+
+func TestWrongCreatedFlagRejected(t *testing.T) {
+	ops := []Op{
+		{Kind: Put, Arg: 1, Found: true, Call: 0, Ret: 1},
+		{Kind: Put, Arg: 2, Found: true, Call: 2, Ret: 3}, // claims created again
+	}
+	if res := CheckDefault(ops); res.Ok {
+		t.Fatalf("double-created accepted: %+v", res)
+	}
+	ops = []Op{
+		{Kind: Put, Arg: 1, Found: true, Call: 0, Ret: 1},
+		{Kind: Delete, Found: false, Call: 2, Ret: 3}, // claims key absent
+	}
+	if res := CheckDefault(ops); res.Ok {
+		t.Fatalf("wrong delete-existed accepted: %+v", res)
+	}
+}
+
+func TestAbsentReadAfterPutRejected(t *testing.T) {
+	ops := []Op{
+		{Kind: Put, Arg: 1, Found: true, Call: 0, Ret: 1},
+		{Kind: Get, Found: false, Call: 2, Ret: 3},
+	}
+	if res := CheckDefault(ops); res.Ok {
+		t.Fatalf("absent read after completed put accepted: %+v", res)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// Many fully-concurrent puts with a contradictory tail force real
+	// search; a one-node budget must give up, not decide.
+	var ops []Op
+	for i := 0; i < 12; i++ {
+		ops = append(ops, Op{Client: i, Kind: Put, Arg: uint64(i), Found: i == 0, Call: 0, Ret: 100})
+	}
+	ops = append(ops, Op{Kind: Get, Val: 999, Found: true, Call: 200, Ret: 201})
+	res := Check(ops, 1)
+	if res.Decided {
+		t.Fatalf("budget 1 still decided: %+v", res)
+	}
+	// A real budget refutes it.
+	res = Check(ops, 1<<22)
+	if !res.Decided || res.Ok {
+		t.Fatalf("contradictory concurrent history not refuted: %+v", res)
+	}
+}
+
+func TestOverlongHistoryUndecided(t *testing.T) {
+	ops := make([]Op, maxHistory+1)
+	for i := range ops {
+		ops[i] = Op{Kind: Get, Found: false, Call: int64(2 * i), Ret: int64(2*i + 1)}
+	}
+	if res := CheckDefault(ops); res.Decided {
+		t.Fatalf("overlong history must be undecided, got %+v", res)
+	}
+}
+
+// TestRandomSequentialHistories cross-checks the search against a
+// reference execution: any history actually produced sequentially must
+// be accepted, whatever mix of ops it contains.
+func TestRandomSequentialHistories(t *testing.T) {
+	rng := xrand.New(0xC0FFEE)
+	for trial := 0; trial < 50; trial++ {
+		var ops []Op
+		state := regState{}
+		now := int64(0)
+		for i := 0; i < 40; i++ {
+			op := Op{Client: int(rng.Uint64() % 4), Call: now, Ret: now + 1}
+			now += 2
+			switch rng.Uint64() % 3 {
+			case 0:
+				op.Kind = Put
+				op.Arg = rng.Uint64() % 8
+				op.Found = !state.present
+				state = regState{present: true, val: op.Arg}
+			case 1:
+				op.Kind = Get
+				op.Found = state.present
+				op.Val = state.val
+				if !op.Found {
+					op.Val = 0
+				}
+			case 2:
+				op.Kind = Delete
+				op.Found = state.present
+				state = regState{}
+			}
+			ops = append(ops, op)
+		}
+		if res := CheckDefault(ops); !res.Ok || !res.Decided {
+			t.Fatalf("trial %d: generated sequential history rejected: %+v", trial, res)
+		}
+	}
+}

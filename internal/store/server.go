@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -49,7 +50,12 @@ func (sv *Server) Serve(ln net.Listener) error {
 // ServeConn handles one connection until EOF or failure. A malformed
 // request gets a StatusError response and closes the stream (framing
 // cannot be trusted after a parse error); store operations themselves
-// cannot fail.
+// cannot fail. Requests are answered strictly in arrival order —
+// together with the tag echo this is the ordering guarantee the
+// pipelined client's FIFO matching relies on. Responses are flushed
+// lazily: while more complete frames are already buffered, the reply
+// stays in the write buffer, so a pipelined burst is answered with a
+// coalesced burst.
 func (sv *Server) ServeConn(conn io.ReadWriter) error {
 	node := int(sv.next.Add(1)-1) % sv.nodes
 	h := sv.store.NewHandle(node)
@@ -65,26 +71,42 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 			return err
 		}
 		in = body[:0]
-		req, err := ParseRequest(body)
-		if err != nil {
-			out = out[:0]
-			out, _ = AppendResponse(out, 0, Response{Status: StatusError, Msg: err.Error()})
-			if werr := WriteFrame(bw, out); werr != nil {
-				return werr
-			}
-			if werr := bw.Flush(); werr != nil {
-				return werr
-			}
-			return fmt.Errorf("store: closing connection after bad request: %w", err)
-		}
-		resp := sv.execute(h, req)
 		out = out[:0]
-		out, err = AppendResponse(out, req.Op, resp)
-		if err != nil {
-			return err
+
+		// Peel an optional tag; the response echoes it first.
+		inner := body
+		if len(body) > 0 && body[0] == OpTagged {
+			tag, rest, terr := ParseTag(body)
+			if terr != nil {
+				return sv.reject(bw, out, terr)
+			}
+			inner = rest
+			out = binary.BigEndian.AppendUint32(out, tag)
+		}
+
+		if len(inner) > 0 && (inner[0] == OpBatch || inner[0] == OpMGet || inner[0] == OpMPut) {
+			b, err := ParseBatchRequest(inner)
+			if err != nil {
+				return sv.reject(bw, out, err) // out keeps the echoed tag
+			}
+			out = appendBatchBounded(out, b.Reqs, h.ExecBatch(b.Reqs))
+		} else {
+			req, err := ParseRequest(inner)
+			if err != nil {
+				return sv.reject(bw, out, err) // out keeps the echoed tag
+			}
+			// len(out) is the tag overhead (0 or 4): a scan trimmed to
+			// MaxFrame must still fit after the tag is prepended.
+			out, err = AppendResponse(out, req.Op, sv.execute(h, req, len(out)))
+			if err != nil {
+				return err
+			}
 		}
 		if err := WriteFrame(bw, out); err != nil {
 			return err
+		}
+		if br.Buffered() >= 4 {
+			continue // more requests already in hand: batch the flush
 		}
 		if err := bw.Flush(); err != nil {
 			return err
@@ -92,20 +114,75 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 	}
 }
 
+// reject sends the terminal StatusError response for an unparseable
+// request and reports why the connection is closing.
+func (sv *Server) reject(bw *bufio.Writer, out []byte, err error) error {
+	out, _ = AppendResponse(out, 0, Response{Status: StatusError, Msg: err.Error()})
+	if werr := WriteFrame(bw, out); werr != nil {
+		return werr
+	}
+	if werr := bw.Flush(); werr != nil {
+		return werr
+	}
+	return fmt.Errorf("store: closing connection after bad request: %w", err)
+}
+
+// appendBatchBounded encodes a batch response, keeping the frame under
+// MaxFrame: 64 bytes are reserved for every not-yet-encoded sub-response,
+// and a sub-response that would overflow the remaining budget is replaced
+// by a (small) StatusError — so one over-full multi-get degrades its tail
+// instead of killing the connection.
+func appendBatchBounded(dst []byte, reqs []Request, resps []Response) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(resps)))
+	n := len(resps)
+	for i := range resps {
+		allowed := MaxFrame - 64*(n-1-i)
+		mark := len(dst)
+		enc, err := AppendResponse(dst, reqs[i].Op, trimResp(reqs[i].Op, resps[i]))
+		if err != nil || len(enc) > allowed {
+			enc, _ = AppendResponse(dst[:mark], reqs[i].Op,
+				Response{Status: StatusError, Msg: MsgBatchOverflow})
+		}
+		dst = enc
+	}
+	return dst
+}
+
+// trimResp applies the scan frame-trim policy to a sub-response (the
+// batch path's per-sub budget check degrades anything that still does
+// not fit, so no extra overhead is threaded here).
+func trimResp(op byte, r Response) Response {
+	if op == OpScan && r.Status == StatusOK {
+		r.Entries = trimToFrame(r.Entries, 0)
+	}
+	return r
+}
+
 // PipeClient connects a new in-process client to the server over
 // net.Pipe, with the server side on its own goroutine — the transport
 // `ssync store`, the harness experiments and the e2e tests share.
 func (sv *Server) PipeClient() *Client {
+	return NewClient(sv.pipeConn())
+}
+
+// PipeAsyncClient is PipeClient's multiplexed sibling: a new async
+// client with the given in-flight window over net.Pipe.
+func (sv *Server) PipeAsyncClient(window int) *AsyncClient {
+	return NewAsyncClient(sv.pipeConn(), window)
+}
+
+func (sv *Server) pipeConn() net.Conn {
 	clientEnd, serverEnd := net.Pipe()
 	go func() {
 		defer serverEnd.Close()
 		_ = sv.ServeConn(serverEnd)
 	}()
-	return NewClient(clientEnd)
+	return clientEnd
 }
 
-// execute runs one parsed request against the handle.
-func (sv *Server) execute(h *Handle, req Request) Response {
+// execute runs one parsed request against the handle. overhead is the
+// frame bytes already spoken for outside the response body (the tag).
+func (sv *Server) execute(h *Handle, req Request, overhead int) Response {
 	switch req.Op {
 	case OpGet:
 		v, ok := h.Get(req.Key)
@@ -124,15 +201,16 @@ func (sv *Server) execute(h *Handle, req Request) Response {
 	case OpScan:
 		limit := int(req.Limit)
 		entries := h.Scan(req.Key, limit)
-		return Response{Status: StatusOK, Entries: trimToFrame(entries)}
+		return Response{Status: StatusOK, Entries: trimToFrame(entries, overhead)}
 	}
 	return Response{Status: StatusError, Msg: ErrBadOp.Error()}
 }
 
-// trimToFrame drops trailing scan entries until the encoded response fits
-// one frame (status + count + per-entry headers and payloads).
-func trimToFrame(entries []Entry) []Entry {
-	size := 1 + 4
+// trimToFrame drops trailing scan entries until the encoded response
+// (overhead + status + count + per-entry headers and payloads) fits one
+// frame.
+func trimToFrame(entries []Entry, overhead int) []Entry {
+	size := overhead + 1 + 4
 	for i, e := range entries {
 		size += 2 + len(e.Key) + 4 + len(e.Value)
 		if size > MaxFrame {

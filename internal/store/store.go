@@ -151,6 +151,11 @@ type Handle struct {
 	s    *Store
 	toks []*locks.Token
 	node int
+	// ExecBatch grouping scratch, reused across batches: a handle serves
+	// one connection, and batch bookkeeping should not out-allocate the
+	// work being measured.
+	groups [][]int
+	hashes []uint64
 }
 
 // NewHandle creates an accessor; node is the NUMA hint for hierarchical
@@ -181,16 +186,7 @@ func (h *Handle) Get(key string) ([]byte, bool) {
 	i := h.s.shardOf(hash)
 	h.lock(i)
 	defer h.unlock(i)
-	sh := &h.s.shards[i]
-	sh.ops.Gets++
-	for s := &sh.buckets[h.s.bucketOf(hash)]; s != nil; s = s.next {
-		for j := 0; j < segCap; j++ {
-			if s.used[j] && s.hashes[j] == hash && s.keys[j] == key {
-				return append([]byte(nil), s.vals[j]...), true
-			}
-		}
-	}
-	return nil, false
+	return h.s.getLocked(i, hash, key)
 }
 
 // Put inserts or replaces the value under key; it reports whether the key
@@ -200,23 +196,51 @@ func (h *Handle) Put(key string, value []byte) bool {
 	i := h.s.shardOf(hash)
 	h.lock(i)
 	defer h.unlock(i)
-	sh := &h.s.shards[i]
+	return h.s.putLocked(i, hash, key, value)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (h *Handle) Delete(key string) bool {
+	hash := hashKey(key)
+	i := h.s.shardOf(hash)
+	h.lock(i)
+	defer h.unlock(i)
+	return h.s.deleteLocked(i, hash, key)
+}
+
+// getLocked is Get's body; shard i's lock must be held.
+func (s *Store) getLocked(i int, hash uint64, key string) ([]byte, bool) {
+	sh := &s.shards[i]
+	sh.ops.Gets++
+	for seg := &sh.buckets[s.bucketOf(hash)]; seg != nil; seg = seg.next {
+		for j := 0; j < segCap; j++ {
+			if seg.used[j] && seg.hashes[j] == hash && seg.keys[j] == key {
+				return append([]byte(nil), seg.vals[j]...), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// putLocked is Put's body; shard i's lock must be held.
+func (s *Store) putLocked(i int, hash uint64, key string, value []byte) bool {
+	sh := &s.shards[i]
 	sh.ops.Puts++
 	var freeSeg *segment
 	freeIdx := -1
 	last := (*segment)(nil)
-	for s := &sh.buckets[h.s.bucketOf(hash)]; s != nil; s = s.next {
+	for seg := &sh.buckets[s.bucketOf(hash)]; seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
-			if s.used[j] {
-				if s.hashes[j] == hash && s.keys[j] == key {
-					s.vals[j] = append(s.vals[j][:0], value...)
+			if seg.used[j] {
+				if seg.hashes[j] == hash && seg.keys[j] == key {
+					seg.vals[j] = append(seg.vals[j][:0], value...)
 					return false
 				}
 			} else if freeIdx < 0 {
-				freeSeg, freeIdx = s, j
+				freeSeg, freeIdx = seg, j
 			}
 		}
-		last = s
+		last = seg
 	}
 	if freeIdx < 0 {
 		seg := &segment{}
@@ -231,26 +255,94 @@ func (h *Handle) Put(key string, value []byte) bool {
 	return true
 }
 
-// Delete removes key; it reports whether the key was present.
-func (h *Handle) Delete(key string) bool {
-	hash := hashKey(key)
-	i := h.s.shardOf(hash)
-	h.lock(i)
-	defer h.unlock(i)
-	sh := &h.s.shards[i]
+// deleteLocked is Delete's body; shard i's lock must be held.
+func (s *Store) deleteLocked(i int, hash uint64, key string) bool {
+	sh := &s.shards[i]
 	sh.ops.Deletes++
-	for s := &sh.buckets[h.s.bucketOf(hash)]; s != nil; s = s.next {
+	for seg := &sh.buckets[s.bucketOf(hash)]; seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
-			if s.used[j] && s.hashes[j] == hash && s.keys[j] == key {
-				s.used[j] = false
-				s.keys[j] = ""
-				s.vals[j] = nil
+			if seg.used[j] && seg.hashes[j] == hash && seg.keys[j] == key {
+				seg.used[j] = false
+				seg.keys[j] = ""
+				seg.vals[j] = nil
 				sh.entries--
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// ExecBatch executes a batch of scalar requests, amortizing locking the
+// way the paper prescribes: the point ops (get/put/delete) are grouped
+// by shard and each touched shard's lock is acquired exactly once for
+// its whole group, instead of once per key. Scans still walk all shards
+// one lock at a time, outside the grouped acquisitions. resps[i] is the
+// response to reqs[i]; a batch is a performance unit, not a transaction
+// — sub-ops linearize individually, and ops for one shard apply in
+// batch order.
+func (h *Handle) ExecBatch(reqs []Request) []Response {
+	resps := make([]Response, len(reqs))
+	if h.groups == nil {
+		h.groups = make([][]int, h.s.opt.Shards)
+	}
+	groups := h.groups
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	if cap(h.hashes) < len(reqs) {
+		h.hashes = make([]uint64, len(reqs))
+	}
+	hashes := h.hashes[:len(reqs)]
+	scans := false
+	for i, r := range reqs {
+		switch r.Op {
+		case OpGet, OpPut, OpDelete:
+			hashes[i] = hashKey(r.Key)
+			sh := h.s.shardOf(hashes[i])
+			groups[sh] = append(groups[sh], i)
+		case OpScan:
+			scans = true
+		default:
+			resps[i] = Response{Status: StatusError, Msg: ErrBadOp.Error()}
+		}
+	}
+	for sh, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		h.lock(sh)
+		for _, i := range idxs {
+			r := reqs[i]
+			switch r.Op {
+			case OpGet:
+				v, ok := h.s.getLocked(sh, hashes[i], r.Key)
+				if ok {
+					resps[i] = Response{Status: StatusOK, Value: v}
+				} else {
+					resps[i] = Response{Status: StatusNotFound}
+				}
+			case OpPut:
+				created := h.s.putLocked(sh, hashes[i], r.Key, r.Value)
+				resps[i] = Response{Status: StatusOK, Created: created}
+			case OpDelete:
+				if h.s.deleteLocked(sh, hashes[i], r.Key) {
+					resps[i] = Response{Status: StatusOK}
+				} else {
+					resps[i] = Response{Status: StatusNotFound}
+				}
+			}
+		}
+		h.unlock(sh)
+	}
+	if scans {
+		for i, r := range reqs {
+			if r.Op == OpScan {
+				resps[i] = Response{Status: StatusOK, Entries: h.Scan(r.Key, int(r.Limit))}
+			}
+		}
+	}
+	return resps
 }
 
 // Scan returns up to limit entries whose keys start with prefix, sorted

@@ -147,8 +147,18 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 // ParseRequest decodes one request body. It rejects unknown opcodes,
 // truncated bodies, oversized fields and trailing garbage.
 func ParseRequest(body []byte) (Request, error) {
-	var req Request
 	p := parser{buf: body}
+	req := p.request()
+	if err := p.finish(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// request decodes one scalar request at the cursor (the encoding is
+// self-delimiting, so batch bodies concatenate these).
+func (p *parser) request() Request {
+	var req Request
 	req.Op = p.u8()
 	key := p.bytes16()
 	switch req.Op {
@@ -160,14 +170,11 @@ func ParseRequest(body []byte) (Request, error) {
 		req.Limit = p.u32()
 	default:
 		if p.err == nil {
-			return Request{}, ErrBadOp
+			p.err = ErrBadOp
 		}
 	}
-	if err := p.finish(); err != nil {
-		return Request{}, err
-	}
 	req.Key = string(key)
-	return req, nil
+	return req
 }
 
 // AppendResponse encodes resp for a request with opcode op.
@@ -220,8 +227,18 @@ func AppendResponse(dst []byte, op byte, resp Response) ([]byte, error) {
 
 // ParseResponse decodes one response body for a request with opcode op.
 func ParseResponse(op byte, body []byte) (Response, error) {
-	var resp Response
 	p := parser{buf: body}
+	resp := p.response(op)
+	if err := p.finish(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// response decodes one scalar response at the cursor for a request with
+// opcode op (self-delimiting, shared with the batch response parser).
+func (p *parser) response(op byte) Response {
+	var resp Response
 	resp.Status = p.u8()
 	switch {
 	case resp.Status == StatusError:
@@ -238,7 +255,7 @@ func ParseResponse(op byte, body []byte) (Response, error) {
 				resp.Created = true
 			default:
 				if p.err == nil {
-					return Response{}, fmt.Errorf("store: invalid created flag %d", flag)
+					p.err = fmt.Errorf("store: invalid created flag %d", flag)
 				}
 			}
 		case OpDelete:
@@ -251,18 +268,15 @@ func ParseResponse(op byte, body []byte) (Response, error) {
 			}
 		default:
 			if p.err == nil {
-				return Response{}, ErrBadOp
+				p.err = ErrBadOp
 			}
 		}
 	default:
 		if p.err == nil {
-			return Response{}, fmt.Errorf("store: unknown status %d", resp.Status)
+			p.err = fmt.Errorf("store: unknown status %d", resp.Status)
 		}
 	}
-	if err := p.finish(); err != nil {
-		return Response{}, err
-	}
-	return resp, nil
+	return resp
 }
 
 // parser is a cursor over a message body; the first failure sticks and

@@ -23,6 +23,64 @@ type Conn interface {
 	Close() error
 }
 
+// OpKind tags one logical operation of an op group.
+type OpKind uint8
+
+// The op kinds the engine draws, mirroring the Conn surface.
+const (
+	KindGet OpKind = iota
+	KindPut
+	KindDelete
+	KindScan
+)
+
+// Op is one logical operation drawn by the engine — the unit op groups
+// are built from when a scenario batches or pipelines.
+type Op struct {
+	Kind  OpKind
+	Key   string // the scan prefix for KindScan
+	Value []byte // KindPut only
+	Limit int    // KindScan only
+}
+
+// Outcome tallies what a completed op group did, in the same terms as
+// PhaseResult.
+type Outcome struct {
+	Ops     uint64 // logical operations completed
+	Hits    uint64 // gets that found the key
+	Misses  uint64 // gets that did not
+	Created uint64 // puts that inserted a new key
+	Scanned uint64 // entries returned by scans
+}
+
+// Add accumulates p into o.
+func (o *Outcome) Add(p Outcome) {
+	o.Ops += p.Ops
+	o.Hits += p.Hits
+	o.Misses += p.Misses
+	o.Created += p.Created
+	o.Scanned += p.Scanned
+}
+
+// Pending is one in-flight op group; Wait blocks until its responses
+// arrive and reports the group's outcome.
+type Pending interface {
+	Wait() (Outcome, error)
+}
+
+// PipeConn is the optional batched/pipelined surface of a Conn: Issue
+// starts a whole op group without waiting for its results, so a client
+// can keep several groups in flight (the in-flight window) and the
+// backend can execute a group as one batch (one message, one lock
+// acquisition per touched shard). A backend that can only batch — or
+// only run ops one at a time — still satisfies the contract by
+// resolving the work before Issue returns; only true pipelining
+// overlaps it.
+type PipeConn interface {
+	Conn
+	Issue(ops []Op) Pending
+}
+
 // Mix is an operation mix in percent; the fields must sum to 100.
 // Deletes ride on the Put share (one in eight writes deletes, which keeps
 // the store from growing without bound under write-heavy mixes).
@@ -107,6 +165,12 @@ type Scenario struct {
 	Phases []Phase
 	// Seed makes client RNG streams reproducible. 0 is a fixed default.
 	Seed uint64
+	// Batch groups this many consecutive ops into one multi-op request
+	// when the connection supports it (PipeConn). Default 1 = scalar ops.
+	Batch int
+	// Pipeline is how many op groups a client keeps in flight when the
+	// connection supports it (PipeConn). Default 1 = lock-step.
+	Pipeline int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -130,6 +194,12 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Seed == 0 {
 		s.Seed = 0x5eed5eed5eed5eed
+	}
+	if s.Batch < 1 {
+		s.Batch = 1
+	}
+	if s.Pipeline < 1 {
+		s.Pipeline = 1
 	}
 	return s
 }
@@ -234,6 +304,29 @@ func runPhase(s Scenario, phaseIdx int, ph Phase, dial func(int) (Conn, error)) 
 	return res, errors.Join(errs...)
 }
 
+// drawOp draws one logical operation from the scenario's distribution
+// and mix. The rng consumption order matches the pre-batching engine
+// exactly, so a given seed produces the same op stream whatever the
+// batch and pipeline settings.
+func drawOp(s Scenario, rng *xrand.Rand, value []byte) Op {
+	key := Key(s.Dist.Next(rng))
+	switch draw := int(rng.Uint64() % 100); {
+	case draw < s.Mix.Get:
+		return Op{Kind: KindGet, Key: key}
+	case draw < s.Mix.Get+s.Mix.Put:
+		// One write in eight deletes, so write-heavy mixes exercise
+		// removal and the store's population reaches a fixpoint.
+		if rng.Uint64()%8 == 0 {
+			return Op{Kind: KindDelete, Key: key}
+		}
+		return Op{Kind: KindPut, Key: key, Value: value}
+	default:
+		// Scan a narrow prefix around the drawn key: chop the last two
+		// digits so the prefix covers a 100-key band.
+		return Op{Kind: KindScan, Key: key[:len(key)-2], Limit: s.ScanLimit}
+	}
+}
+
 func runClient(s Scenario, phaseIdx int, ph Phase, c int, dial func(int) (Conn, error)) clientTally {
 	var t clientTally
 	conn, err := dial(c)
@@ -244,11 +337,15 @@ func runClient(s Scenario, phaseIdx int, ph Phase, c int, dial func(int) (Conn, 
 	defer conn.Close()
 	rng := xrand.New(s.Seed + uint64(phaseIdx)*0x9e3779b97f4a7c15 + uint64(c)*0x2545f4914f6cdd1d)
 	value := payload(s.ValueSize, uint64(c))
+	if pc, ok := conn.(PipeConn); ok && (s.Batch > 1 || s.Pipeline > 1) {
+		runPipelined(s, ph, pc, rng, value, &t)
+		return t
+	}
 	for i := 0; i < ph.Ops; i++ {
-		key := Key(s.Dist.Next(rng))
-		switch draw := int(rng.Uint64() % 100); {
-		case draw < s.Mix.Get:
-			_, found, err := conn.Get(key)
+		op := drawOp(s, rng, value)
+		switch op.Kind {
+		case KindGet:
+			_, found, err := conn.Get(op.Key)
 			if err != nil {
 				t.err = err
 				return t
@@ -258,29 +355,22 @@ func runClient(s Scenario, phaseIdx int, ph Phase, c int, dial func(int) (Conn, 
 			} else {
 				t.misses++
 			}
-		case draw < s.Mix.Get+s.Mix.Put:
-			// One write in eight deletes, so write-heavy mixes exercise
-			// removal and the store's population reaches a fixpoint.
-			if rng.Uint64()%8 == 0 {
-				if _, err := conn.Delete(key); err != nil {
-					t.err = err
-					return t
-				}
-			} else {
-				created, err := conn.Put(key, value)
-				if err != nil {
-					t.err = err
-					return t
-				}
-				if created {
-					t.created++
-				}
+		case KindPut:
+			created, err := conn.Put(op.Key, op.Value)
+			if err != nil {
+				t.err = err
+				return t
 			}
-		default:
-			// Scan a narrow prefix around the drawn key: chop the last two
-			// digits so the prefix covers a 100-key band.
-			prefix := key[:len(key)-2]
-			n, err := conn.Scan(prefix, s.ScanLimit)
+			if created {
+				t.created++
+			}
+		case KindDelete:
+			if _, err := conn.Delete(op.Key); err != nil {
+				t.err = err
+				return t
+			}
+		case KindScan:
+			n, err := conn.Scan(op.Key, op.Limit)
 			if err != nil {
 				t.err = err
 				return t
@@ -290,6 +380,58 @@ func runClient(s Scenario, phaseIdx int, ph Phase, c int, dial func(int) (Conn, 
 		t.ops++
 	}
 	return t
+}
+
+// runPipelined is the batched/pipelined client loop: it draws op groups
+// of up to Batch ops, keeps up to Pipeline groups in flight through
+// PipeConn.Issue, and waits for the oldest group only when the window is
+// full — so a deep window over a slow transport overlaps round trips
+// instead of paying them one by one.
+func runPipelined(s Scenario, ph Phase, pc PipeConn, rng *xrand.Rand, value []byte, t *clientTally) {
+	window := make([]Pending, 0, s.Pipeline)
+	var total Outcome
+	defer func() { // one bridge from Outcome to the engine's tally
+		t.ops += total.Ops
+		t.hits += total.Hits
+		t.misses += total.Misses
+		t.created += total.Created
+		t.scanned += total.Scanned
+	}()
+	settle := func(p Pending) bool {
+		out, err := p.Wait()
+		total.Add(out)
+		if err != nil && t.err == nil {
+			t.err = err
+		}
+		return t.err == nil
+	}
+	drain := func() {
+		for _, p := range window {
+			settle(p)
+		}
+		window = window[:0]
+	}
+	for left := ph.Ops; left > 0; {
+		n := s.Batch
+		if n > left {
+			n = left
+		}
+		left -= n
+		group := make([]Op, n)
+		for j := range group {
+			group[j] = drawOp(s, rng, value)
+		}
+		if len(window) == s.Pipeline {
+			oldest := window[0]
+			window = append(window[:0], window[1:]...)
+			if !settle(oldest) {
+				drain()
+				return
+			}
+		}
+		window = append(window, pc.Issue(group))
+	}
+	drain()
 }
 
 // Preload inserts keys 0..n-1 with valueSize-byte payloads over conn —

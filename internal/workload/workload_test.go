@@ -235,3 +235,171 @@ func TestPhaseValidation(t *testing.T) {
 		t.Fatal("zero-client phase must fail")
 	}
 }
+
+// pipeMemConn wraps memConn with a recording PipeConn surface.
+type pipeMemConn struct {
+	*memConn
+	groups      [][]Op // every issued group
+	inFlight    int
+	maxInFlight int
+}
+
+type memPending struct {
+	c   *pipeMemConn
+	out Outcome
+	err error
+}
+
+func (p *memPending) Wait() (Outcome, error) {
+	p.c.inFlight--
+	return p.out, p.err
+}
+
+func (c *pipeMemConn) Issue(ops []Op) Pending {
+	c.groups = append(c.groups, append([]Op(nil), ops...))
+	c.inFlight++
+	if c.inFlight > c.maxInFlight {
+		c.maxInFlight = c.inFlight
+	}
+	var out Outcome
+	for _, op := range ops {
+		out.Ops++
+		switch op.Kind {
+		case KindGet:
+			_, found, err := c.memConn.Get(op.Key)
+			if err != nil {
+				return &memPending{c: c, err: err}
+			}
+			if found {
+				out.Hits++
+			} else {
+				out.Misses++
+			}
+		case KindPut:
+			created, err := c.memConn.Put(op.Key, op.Value)
+			if err != nil {
+				return &memPending{c: c, err: err}
+			}
+			if created {
+				out.Created++
+			}
+		case KindDelete:
+			if _, err := c.memConn.Delete(op.Key); err != nil {
+				return &memPending{c: c, err: err}
+			}
+		case KindScan:
+			n, err := c.memConn.Scan(op.Key, op.Limit)
+			if err != nil {
+				return &memPending{c: c, err: err}
+			}
+			out.Scanned += uint64(n)
+		}
+	}
+	return &memPending{c: c, out: out}
+}
+
+// TestPipelinedEngine drives the batched/pipelined client loop against
+// a recording PipeConn: groups are Batch-sized, at most Pipeline are in
+// flight, every op is accounted, and the op stream matches the scalar
+// engine's for the same seed.
+func TestPipelinedEngine(t *testing.T) {
+	const clients, ops = 1, 203 // odd op count: final short group
+	run := func(batch, pipeline int) (*pipeMemConn, PhaseResult) {
+		b := newMemBackend()
+		var pc *pipeMemConn
+		dial := func(int) (Conn, error) {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			c := &memConn{mu: &b.mu, m: b.m}
+			b.conns = append(b.conns, c)
+			pc = &pipeMemConn{memConn: c}
+			return pc, nil
+		}
+		res, err := Run(Scenario{
+			Keys: 64, Preload: 32, Seed: 7,
+			Mix:      Mix{Get: 60, Put: 30, Scan: 10},
+			Phases:   []Phase{{Name: "p", Clients: clients, Ops: ops}},
+			Batch:    batch,
+			Pipeline: pipeline,
+		}, dial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pc, res[0]
+	}
+
+	pc, res := run(8, 4)
+	if res.Ops != ops {
+		t.Fatalf("pipelined ops = %d, want %d", res.Ops, ops)
+	}
+	if len(pc.groups) != (ops+7)/8 {
+		t.Fatalf("issued %d groups, want %d", len(pc.groups), (ops+7)/8)
+	}
+	for i, g := range pc.groups[:len(pc.groups)-1] {
+		if len(g) != 8 {
+			t.Fatalf("group %d has %d ops, want 8", i, len(g))
+		}
+	}
+	if last := pc.groups[len(pc.groups)-1]; len(last) != ops%8 {
+		t.Fatalf("last group has %d ops, want %d", len(last), ops%8)
+	}
+	if pc.maxInFlight > 4 {
+		t.Fatalf("window overflowed: %d groups in flight, cap 4", pc.maxInFlight)
+	}
+
+	// Same seed through the scalar engine: identical logical op stream.
+	scalar, sres := run(1, 1)
+	if len(scalar.groups) != 0 {
+		t.Fatalf("scalar run must not touch Issue, got %d groups", len(scalar.groups))
+	}
+	if sres.Hits != res.Hits || sres.Misses != res.Misses || sres.Created != res.Created || sres.Scanned != res.Scanned {
+		t.Fatalf("batched tallies diverge from scalar: %+v vs %+v", res, sres)
+	}
+
+	// Pipeline-only (batch 1): every group is a single op.
+	solo, _ := run(1, 8)
+	if len(solo.groups) != ops {
+		t.Fatalf("pipeline-only issued %d groups, want %d", len(solo.groups), ops)
+	}
+}
+
+// TestPipelinedFallback: a plain Conn without the PipeConn surface
+// still runs scenarios that ask for batching — scalar, lock-step.
+func TestPipelinedFallback(t *testing.T) {
+	b := newMemBackend()
+	res, err := Run(Scenario{
+		Keys: 32, Preload: 16, Seed: 3,
+		Phases: []Phase{{Name: "p", Clients: 2, Ops: 100}},
+		Batch:  8, Pipeline: 4,
+	}, b.dial(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Ops != 200 {
+		t.Fatalf("fallback ops = %d, want 200", res[0].Ops)
+	}
+}
+
+// TestPipelinedErrorPropagation: a backend failure inside a group stops
+// the client and surfaces through Run.
+func TestPipelinedErrorPropagation(t *testing.T) {
+	b := newMemBackend()
+	dial := func(int) (Conn, error) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		c := &memConn{mu: &b.mu, m: b.m, failAt: 30}
+		b.conns = append(b.conns, c)
+		return &pipeMemConn{memConn: c}, nil
+	}
+	res, err := Run(Scenario{
+		Keys:   32,
+		Phases: []Phase{{Name: "p", Clients: 1, Ops: 500}},
+		Batch:  4, Pipeline: 2,
+	}, dial)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if res[0].Ops >= 500 {
+		t.Fatalf("client kept going after failure: %d ops", res[0].Ops)
+	}
+}
