@@ -14,16 +14,19 @@ import (
 	"ssync/internal/workload"
 )
 
-// StoreMain implements `ssync store`: it builds a sharded KVS with the
-// requested lock algorithm, serves it over the length-prefixed wire
-// protocol on in-process pipe connections (or --local in-process handles),
-// drives it with the scenario engine's ramp/steady phases, and emits the
-// per-shard and total throughput through the harness emitters.
+// StoreMain implements `ssync store`: it builds a sharded KVS on the
+// requested shard engine (locked, actor or optimistic — or all three in
+// one comparison run) with the requested lock algorithm, serves it over
+// the length-prefixed wire protocol on in-process pipe connections (or
+// --local in-process handles), drives it with the scenario engine's
+// ramp/steady phases, and emits the per-shard and total throughput
+// through the harness emitters.
 func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ssync store", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	alg := fs.String("alg", "ticket", "shard-lock algorithm (tas, ttas, ticket, array, mutex, mcs, clh, hclh, hticket)")
-	shards := fs.Int("shards", 16, "independently locked shards")
+	engineSpec := fs.String("engine", "locked", "shard engine (locked, actor, optimistic), or all to compare every engine in one run")
+	shards := fs.Int("shards", 16, "independently synchronized shards")
 	buckets := fs.Int("buckets", 64, "buckets per shard")
 	distSpec := fs.String("dist", "zipfian", "key distribution: uniform, zipfian, zipfian:<theta>")
 	mixSpec := fs.String("mix", "95:5", "op mix get:put or get:put:scan percentages")
@@ -47,6 +50,16 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "ssync store:", err)
 		return 2
+	}
+	allEngines := *engineSpec == "all"
+	engines := store.Engines
+	if !allEngines {
+		eng, err := store.ParseEngine(*engineSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync store:", err)
+			return 2
+		}
+		engines = []store.Engine{eng}
 	}
 	dist, err := workload.ParseDist(*distSpec, *keys)
 	if err != nil {
@@ -91,19 +104,6 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 		Lock:       algorithm,
 		MaxThreads: *clients + 2,
 	}
-	st := store.New(opt)
-	srv := store.NewServer(st, 2)
-	dial := func(c int) (workload.Conn, error) {
-		switch {
-		case *local:
-			return store.Driver{C: st.NewLocalConn(c % 2)}, nil
-		case pipelined:
-			return store.Driver{C: srv.PipeAsyncClient(*pipeline)}, nil
-		default:
-			return store.Driver{C: srv.PipeClient()}, nil
-		}
-	}
-
 	scenario := workload.Scenario{
 		Dist:      dist,
 		Keys:      *keys,
@@ -116,15 +116,92 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 		Pipeline:  *pipeline,
 	}
 
-	experiment := "store/" + strings.ToLower(string(algorithm))
+	// experimentFor names a row set: single locked-engine runs keep the
+	// legacy store/<alg> id; engine-qualified runs (and every all-mode
+	// row) are store-engine/<engine>/<alg>, with the lock-free actor
+	// engine dropping the meaningless lock suffix.
+	experimentFor := func(eng store.Engine) string {
+		switch {
+		case eng == store.EngineActor:
+			return "store-engine/actor"
+		case eng == store.EngineLocked && !allEngines:
+			return "store/" + strings.ToLower(string(algorithm))
+		default:
+			return fmt.Sprintf("store-engine/%s/%s", eng, strings.ToLower(string(algorithm)))
+		}
+	}
+
+	// runOne builds a fresh store on eng, preloads it, runs the scenario
+	// and shapes the result rows (per-shard rows only when a single
+	// engine is shown — an all-engine table keeps to the totals).
+	runOne := func(eng store.Engine) ([]harness.Result, bool) {
+		o := opt
+		o.Engine = eng
+		st := store.New(o)
+		defer st.Close()
+		srv := store.NewServer(st, 2)
+		dial := func(c int) (workload.Conn, error) {
+			switch {
+			case *local:
+				return store.Driver{C: st.NewLocalConn(c % 2)}, nil
+			case pipelined:
+				return store.Driver{C: srv.PipeAsyncClient(*pipeline)}, nil
+			default:
+				return store.Driver{C: srv.PipeClient()}, nil
+			}
+		}
+		// Preload before the counter snapshot, so per-shard throughput
+		// reflects only the measured phases.
+		if *preload > 0 {
+			c, err := dial(0)
+			if err == nil {
+				err = workload.Preload(c, *preload, *valueSize)
+				c.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "ssync store: %s preload: %v\n", eng, err)
+				return nil, false
+			}
+		}
+		mon := st.NewHandle(0)
+		before := mon.ShardStats()
+		phases, err := workload.Run(scenario, dial)
+		after := mon.ShardStats()
+		if err != nil {
+			fmt.Fprintf(stderr, "ssync store: %s: %v\n", eng, err)
+			return nil, false
+		}
+
+		transport := "wire"
+		switch {
+		case *local:
+			transport = "local"
+		case pipelined:
+			transport = fmt.Sprintf("pipelined wire (depth %d × batch %d)", *pipeline, *batch)
+		}
+		fmt.Fprintf(stderr, "%s over %s, %s keys, mix %s:\n", st, transport, dist.Name(), mix)
+		var total time.Duration
+		for _, ph := range phases {
+			fmt.Fprintln(stderr, " ", ph)
+			total += ph.Duration
+		}
+		experiment := experimentFor(eng)
+		if allEngines {
+			return summaryResults(experiment, *clients, phases), true
+		}
+		return shardResults(experiment, *clients, phases, before, after, total), true
+	}
+
 	var results []harness.Result
 
-	// A pipelined run carries its own lock-step baseline: the same
-	// scenario over one-in-flight wire clients against a fresh store, so
-	// the emitted table shows what depth×batch bought on this exact
-	// alg/shard config.
-	if pipelined {
-		base := store.New(opt)
+	// A single-engine pipelined run carries its own lock-step baseline:
+	// the same scenario over one-in-flight wire clients against a fresh
+	// store, so the emitted table shows what depth×batch bought on this
+	// exact engine/alg/shard config. (All-mode compares engines instead.)
+	if pipelined && !allEngines {
+		o := opt
+		o.Engine = engines[0]
+		base := store.New(o)
 		baseSrv := store.NewServer(base, 2)
 		baseDial := func(c int) (workload.Conn, error) {
 			return store.Driver{C: baseSrv.PipeClient()}, nil
@@ -133,6 +210,7 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 		baseScenario.Batch, baseScenario.Pipeline = 1, 1
 		baseScenario.Preload = *preload
 		basePhases, err := workload.Run(baseScenario, baseDial)
+		base.Close()
 		if err != nil {
 			fmt.Fprintln(stderr, "ssync store: lock-step baseline:", err)
 			return 1
@@ -143,46 +221,16 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, " ", ph)
 		}
 		results = append(results,
-			oneResult(experiment, *clients, "lockstep wire Kops/s", baseSteady.Kops()))
+			oneResult(experimentFor(engines[0]), *clients, "lockstep wire Kops/s", baseSteady.Kops()))
 	}
 
-	// Preload before the counter snapshot, so per-shard throughput
-	// reflects only the measured phases.
-	if *preload > 0 {
-		c, err := dial(0)
-		if err == nil {
-			err = workload.Preload(c, *preload, *valueSize)
-			c.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(stderr, "ssync store: preload:", err)
+	for _, eng := range engines {
+		rows, ok := runOne(eng)
+		if !ok {
 			return 1
 		}
+		results = append(results, rows...)
 	}
-	mon := st.NewHandle(0)
-	before := mon.ShardStats()
-	phases, err := workload.Run(scenario, dial)
-	after := mon.ShardStats()
-	if err != nil {
-		fmt.Fprintln(stderr, "ssync store:", err)
-		return 1
-	}
-
-	transport := "wire"
-	switch {
-	case *local:
-		transport = "local"
-	case pipelined:
-		transport = fmt.Sprintf("pipelined wire (depth %d × batch %d)", *pipeline, *batch)
-	}
-	fmt.Fprintf(stderr, "%s over %s, %s keys, mix %s:\n", st, transport, dist.Name(), mix)
-	var total time.Duration
-	for _, ph := range phases {
-		fmt.Fprintln(stderr, " ", ph)
-		total += ph.Duration
-	}
-
-	results = append(results, shardResults(experiment, *clients, phases, before, after, total)...)
 	if err := emitter.Emit(stdout, results); err != nil {
 		fmt.Fprintln(stderr, "ssync store:", err)
 		return 1
@@ -203,19 +251,22 @@ func oneResult(experiment string, clients int, metric string, v float64) harness
 	}
 }
 
+// summaryResults shapes the steady-phase totals (no per-shard rows).
+func summaryResults(experiment string, clients int, phases []workload.PhaseResult) []harness.Result {
+	steady := phases[len(phases)-1]
+	results := []harness.Result{oneResult(experiment, clients, "total Kops/s", steady.Kops())}
+	if steady.Hits+steady.Misses > 0 {
+		results = append(results, oneResult(experiment, clients, "hit %",
+			100*float64(steady.Hits)/float64(steady.Hits+steady.Misses)))
+	}
+	return results
+}
+
 // shardResults shapes the run into harness results: steady-phase totals
 // plus per-shard throughput over the whole run, one metric per shard.
 func shardResults(experiment string, clients int, phases []workload.PhaseResult,
 	before, after []store.Counters, total time.Duration) []harness.Result {
-	one := func(metric string, v float64) harness.Result {
-		return oneResult(experiment, clients, metric, v)
-	}
-	steady := phases[len(phases)-1]
-	results := []harness.Result{one("total Kops/s", steady.Kops())}
-	if steady.Hits+steady.Misses > 0 {
-		results = append(results, one("hit %",
-			100*float64(steady.Hits)/float64(steady.Hits+steady.Misses)))
-	}
+	results := summaryResults(experiment, clients, phases)
 	secs := total.Seconds()
 	for i := range after {
 		delta := after[i].Sub(before[i])
@@ -223,7 +274,7 @@ func shardResults(experiment string, clients int, phases []workload.PhaseResult,
 		if secs > 0 {
 			kops = float64(delta.Total()) / secs / 1e3
 		}
-		results = append(results, one(fmt.Sprintf("shard%02d Kops/s", i), kops))
+		results = append(results, oneResult(experiment, clients, fmt.Sprintf("shard%02d Kops/s", i), kops))
 	}
 	return results
 }

@@ -64,9 +64,61 @@ func TestStoreLocalTableAndCSV(t *testing.T) {
 	}
 }
 
+// TestStoreEngineAll is the issue's acceptance command (scaled down):
+// `ssync store -engine all` must emit locked, actor and optimistic rows
+// from one run, in one table, so the paradigm comparison needs no
+// stitching.
+func TestStoreEngineAll(t *testing.T) {
+	out, errOut, code := runMain(t,
+		"store", "-engine", "all", "-alg", "ticket", "-shards", "8",
+		"-clients", "4", "-ops", "1500", "-keys", "2048", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var results []result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	kops := map[string]float64{}
+	for _, r := range results {
+		if r.Metric == "total Kops/s" {
+			kops[r.Experiment] = r.Stats.Mean
+		}
+	}
+	for _, exp := range []string{"store-engine/locked/ticket", "store-engine/actor", "store-engine/optimistic/ticket"} {
+		if kops[exp] <= 0 {
+			t.Errorf("missing or zero throughput row for %s in %v", exp, kops)
+		}
+	}
+	for _, want := range []string{"locked engine", "actor engine", "optimistic engine"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing per-engine summary %q:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestStoreEngineSingle: a non-default engine run works end-to-end over
+// the wire and is labeled with the engine-qualified experiment id.
+func TestStoreEngineSingle(t *testing.T) {
+	out, errOut, code := runMain(t,
+		"store", "-engine", "actor", "-shards", "4",
+		"-clients", "2", "-ops", "800", "-keys", "512")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"store-engine/actor", "total Kops/s", "shard03 Kops/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestStoreErrors(t *testing.T) {
 	if _, _, code := runMain(t, "store", "-alg", "bogus"); code != 2 {
 		t.Error("unknown algorithm must exit 2")
+	}
+	if _, _, code := runMain(t, "store", "-engine", "bogus"); code != 2 {
+		t.Error("unknown engine must exit 2")
 	}
 	if _, _, code := runMain(t, "store", "-dist", "pareto"); code != 2 {
 		t.Error("unknown distribution must exit 2")

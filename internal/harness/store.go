@@ -29,6 +29,41 @@ var storePipeGrid = []struct{ depth, batch int }{
 	{1, 1}, {16, 1}, {1, 8}, {16, 8},
 }
 
+// runEngineScenario runs the shared zipfian 95:5 scenario against a
+// fresh store built from opt, once direct and once over the wire — the
+// measurement body every store-engine experiment shares.
+func runEngineScenario(s Shard, opt store.Options) ([]Sample, error) {
+	ops := nativeOps(s.Config) / 4
+	if ops < 200 {
+		ops = 200
+	}
+	var out []Sample
+	for _, mode := range []string{"direct", "wire"} {
+		st := store.New(opt)
+		srv := store.NewServer(st, 2)
+		dial := func(c int) (workload.Conn, error) {
+			if mode == "direct" {
+				return store.Driver{C: st.NewLocalConn(c % 2)}, nil
+			}
+			return store.Driver{C: srv.PipeClient()}, nil
+		}
+		scenario := workload.Scenario{
+			Dist:    workload.NewZipfian(4096, 0),
+			Mix:     workload.Mix{Get: 95, Put: 5},
+			Preload: 2048,
+			Phases:  workload.RampSteady(s.Threads, ops),
+		}
+		results, err := workload.Run(scenario, dial)
+		st.Close()
+		if err != nil {
+			return nil, err
+		}
+		steady := results[len(results)-1]
+		out = append(out, Sample{Metric: mode + " Kops/s", Value: steady.Kops()})
+	}
+	return out, nil
+}
+
 func init() {
 	for _, alg := range locks.All {
 		alg := alg
@@ -38,41 +73,53 @@ func init() {
 				" shard locks, zipfian 95:5 scenario, direct and wire Kops/s",
 			On: []string{Native},
 			Runner: func(s Shard) ([]Sample, error) {
-				ops := nativeOps(s.Config) / 4
-				if ops < 200 {
-					ops = 200
-				}
-				var out []Sample
-				for _, mode := range []string{"direct", "wire"} {
-					st := store.New(store.Options{
-						Shards:     storeShards,
-						Lock:       alg,
-						MaxThreads: s.Threads + 2,
-					})
-					srv := store.NewServer(st, 2)
-					dial := func(c int) (workload.Conn, error) {
-						if mode == "direct" {
-							return store.Driver{C: st.NewLocalConn(c % 2)}, nil
-						}
-						return store.Driver{C: srv.PipeClient()}, nil
-					}
-					scenario := workload.Scenario{
-						Dist:    workload.NewZipfian(4096, 0),
-						Mix:     workload.Mix{Get: 95, Put: 5},
-						Preload: 2048,
-						Phases:  workload.RampSteady(s.Threads, ops),
-					}
-					results, err := workload.Run(scenario, dial)
-					if err != nil {
-						return nil, err
-					}
-					steady := results[len(results)-1]
-					out = append(out, Sample{Metric: mode + " Kops/s", Value: steady.Kops()})
-				}
-				return out, nil
+				return runEngineScenario(s, store.Options{
+					Shards:     storeShards,
+					Lock:       alg,
+					MaxThreads: s.Threads + 2,
+				})
 			},
 		})
 	}
+
+	// store-engine/<engine>[/<alg>]: the paper's paradigm comparison run
+	// end-to-end — the same store, scenario and wire protocol executed by
+	// each shard engine. locked and optimistic sweep the lock algorithm
+	// (the optimistic engine's writers still serialize through it); the
+	// actor engine has no locks, so it registers once. Together with the
+	// harness's thread sweep this is the engine × lock × threads grid.
+	for _, eng := range []store.Engine{store.EngineLocked, store.EngineOptimistic} {
+		eng := eng
+		for _, alg := range locks.All {
+			alg := alg
+			Register(Def{
+				ID: fmt.Sprintf("store-engine/%s/%s", eng, strings.ToLower(string(alg))),
+				Doc: fmt.Sprintf("host: sharded KVS on the %s shard engine with %s locks, "+
+					"zipfian 95:5 scenario, direct and wire Kops/s", eng, alg),
+				On: []string{Native},
+				Runner: func(s Shard) ([]Sample, error) {
+					return runEngineScenario(s, store.Options{
+						Shards:     storeShards,
+						Engine:     eng,
+						Lock:       alg,
+						MaxThreads: s.Threads + 2,
+					})
+				},
+			})
+		}
+	}
+	Register(Def{
+		ID: "store-engine/actor",
+		Doc: "host: sharded KVS on the actor shard engine (goroutine-per-shard mailboxes, " +
+			"no locks), zipfian 95:5 scenario, direct and wire Kops/s",
+		On: []string{Native},
+		Runner: func(s Shard) ([]Sample, error) {
+			return runEngineScenario(s, store.Options{
+				Shards: storeShards,
+				Engine: store.EngineActor,
+			})
+		},
+	})
 
 	// store-pipe/<alg>: the same store behind the multiplexed async
 	// client, sweeping pipeline depth × batch size. The d1×b1 corner is

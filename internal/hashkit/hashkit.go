@@ -1,0 +1,42 @@
+// Package hashkit holds the two hashing helpers the repo's hash-table
+// layers (internal/ssht, internal/store, internal/kvs) had each grown a
+// private copy of: FNV-1a for turning byte keys into 64-bit hashes, and
+// Fibonacci-constant remixing for turning a hash into a bucket index
+// whose bits are independent of whatever the hash was already used for
+// (shard selection, server routing).
+//
+// Only the *hashing* is shared. The segment layouts deliberately stay
+// separate: internal/ssht stores 8-byte keys with fixed 40-byte values
+// at 6 entries per segment (one operation fits a libssmp cache-line
+// message), while internal/store stores string keys and variable byte
+// values at 7 entries per segment (hash words packed first so a bucket
+// miss scans only hashes). Same cache-conscious idea, different entry
+// shapes — unifying the layouts would force the generic store layout on
+// the paper-faithful microbenchmark.
+package hashkit
+
+// FibMix is 2^64 / φ, the multiplicative constant of Fibonacci hashing.
+const FibMix = 0x9e3779b97f4a7c15
+
+// FNV-1a parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// FNV1a hashes a string key with 64-bit FNV-1a.
+func FNV1a(key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Bucket remixes hash with the Fibonacci constant and reduces it to
+// [0, nBuckets). The remix makes the bucket index independent of the
+// low bits, which callers typically spend on shard or server selection.
+func Bucket(hash, nBuckets uint64) uint64 {
+	return (hash * FibMix >> 17) % nBuckets
+}

@@ -1,0 +1,43 @@
+package hashkit
+
+import "testing"
+
+// TestFNV1aKnownValues pins the hash function to the reference FNV-1a
+// vectors, so the shared helper cannot silently drift from the values
+// the store and kvs shard maps were built on.
+func TestFNV1aKnownValues(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 14695981039346656037},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, c := range cases {
+		if got := FNV1a(c.in); got != c.want {
+			t.Errorf("FNV1a(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestBucketRange checks reduction stays in range and actually uses the
+// remixed high bits (two hashes equal mod nBuckets should usually land
+// in different buckets).
+func TestBucketRange(t *testing.T) {
+	const n = 64
+	seen := make(map[uint64]bool)
+	for h := uint64(0); h < 4096; h++ {
+		b := Bucket(h, n)
+		if b >= n {
+			t.Fatalf("Bucket(%d, %d) = %d out of range", h, n, b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("4096 consecutive hashes hit only %d/%d buckets", len(seen), n)
+	}
+	if Bucket(0, 1) != 0 {
+		t.Fatal("Bucket(_, 1) must be 0")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"ssync/internal/hashkit"
 	"ssync/internal/locks"
 	"ssync/internal/pad"
 )
@@ -134,13 +135,7 @@ func (s *Store) NewHandle(node int) *Handle {
 }
 
 func (h *Handle) shardOf(key string) int {
-	// FNV-1a over the key.
-	hash := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		hash ^= uint64(key[i])
-		hash *= 1099511628211
-	}
-	return int(hash % uint64(h.s.opt.Shards))
+	return int(hashkit.FNV1a(key) % uint64(h.s.opt.Shards))
 }
 
 func (h *Handle) lockShard(i int) {

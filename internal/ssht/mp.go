@@ -3,6 +3,7 @@ package ssht
 import (
 	"fmt"
 
+	"ssync/internal/hashkit"
 	"ssync/internal/mp"
 )
 
@@ -96,7 +97,7 @@ func (s *Served) NewClient(id int) *Client {
 
 // serverOf maps a key's bucket to its owning server.
 func (s *Served) serverOf(key uint64) int {
-	b := (key * 0x9e3779b97f4a7c15 >> 17) % s.nBuckets
+	b := hashkit.Bucket(key, s.nBuckets)
 	return int(b % uint64(s.nServers))
 }
 

@@ -15,6 +15,7 @@ package ssht
 import (
 	"fmt"
 
+	"ssync/internal/hashkit"
 	"ssync/internal/locks"
 )
 
@@ -100,7 +101,7 @@ func (h *Handle) tok(b uint64) *locks.Token {
 // bucketOf hashes a key to its bucket (Fibonacci hashing, like the home
 // tiles of the Tilera model).
 func (t *Table) bucketOf(key uint64) uint64 {
-	return (key * 0x9e3779b97f4a7c15 >> 17) % t.nBuckets
+	return hashkit.Bucket(key, t.nBuckets)
 }
 
 // Get returns the value stored under key.

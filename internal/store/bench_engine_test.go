@@ -1,0 +1,44 @@
+package store
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ssync/internal/workload"
+	"ssync/internal/xrand"
+)
+
+// BenchmarkEngines pits the three shard engines against each other on
+// the in-process path (no wire): a zipfian-free 95:5 get/put mix over a
+// preloaded key space, one handle per benchmark goroutine. CI runs this
+// at -benchtime=1x so the engine layer's hot path can't bit-rot; run it
+// for real with `go test -bench Engines -benchtime 2s ./internal/store`.
+func BenchmarkEngines(b *testing.B) {
+	const nKeys = 4096
+	for _, eng := range Engines {
+		eng := eng
+		b.Run(string(eng), func(b *testing.B) {
+			s := New(Options{Shards: 8, Engine: eng, MaxThreads: 64})
+			defer s.Close()
+			pre := s.NewHandle(0)
+			val := make([]byte, 64)
+			for k := uint64(0); k < nKeys; k++ {
+				pre.Put(workload.Key(k), val)
+			}
+			var seed atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := s.NewHandle(0)
+				rng := xrand.New(seed.Add(1) * 0x9e3779b97f4a7c15)
+				for pb.Next() {
+					k := workload.Key(rng.Uint64() % nKeys)
+					if rng.Uint64()%100 < 95 {
+						h.Get(k)
+					} else {
+						h.Put(k, val)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package store
+
+import "fmt"
+
+// Engine names a shard-engine paradigm — the paper's synchronization
+// taxonomy lifted to the store's execution layer. All three engines
+// serve the exact same store API and wire protocol; only how a shard's
+// mutual exclusion is enforced differs:
+//
+//   - EngineLocked guards each shard's bucket table with a lock (any of
+//     the nine libslock algorithms) — the locking paradigm.
+//   - EngineActor gives each shard to one goroutine that owns the table
+//     outright and executes batched request/reply messages from a
+//     channel mailbox — the message-passing paradigm, internal/mp's
+//     client-server discipline with Go channels as the transport.
+//   - EngineOptimistic publishes immutable copy-on-write buckets so
+//     point reads complete without acquiring the shard lock (one atomic
+//     load), with a seqlock-style shard version giving scans consistent
+//     snapshots; writers still lock — the optimistic paradigm.
+type Engine string
+
+// The shard-engine paradigms.
+const (
+	EngineLocked     Engine = "locked"
+	EngineActor      Engine = "actor"
+	EngineOptimistic Engine = "optimistic"
+)
+
+// Engines lists every paradigm, in comparison-table order.
+var Engines = []Engine{EngineLocked, EngineActor, EngineOptimistic}
+
+// ParseEngine resolves an engine name.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range Engines {
+		if string(e) == name {
+			return e, nil
+		}
+	}
+	return "", fmt.Errorf("unknown shard engine %q (have %v)", name, Engines)
+}
+
+// shardEngine is the concurrency-control core of a Store: it owns the
+// shard data and decides how concurrent access is serialized. The store
+// layer above it (Handle, ExecBatch, Scan, the wire server) is engine
+// agnostic — adding a backend (replication, caching, NUMA-aware
+// placement) means writing a new engine, not forking the store.
+type shardEngine interface {
+	// access returns a per-goroutine accessor; node is the NUMA hint for
+	// hierarchical locks (unused by the actor engine).
+	access(node int) shardAccess
+	// close releases engine resources (goroutines); idempotent, and only
+	// legal once every accessor has quiesced.
+	close()
+}
+
+// shardAccess is the per-goroutine execution surface of an engine: point
+// ops, per-shard group execution (the batch path's unit of
+// amortization), shard scans, and race-free counter snapshots. A
+// shardAccess must not be shared between goroutines.
+type shardAccess interface {
+	get(shard int, hash uint64, key string) ([]byte, bool)
+	put(shard int, hash uint64, key string, value []byte) bool
+	del(shard int, hash uint64, key string) bool
+	// execGroup executes the point ops reqs[i] for i in idxs — all
+	// mapping to shard — in one engine visit, writing resps[i].
+	execGroup(shard int, reqs []Request, hashes []uint64, idxs []int, resps []Response)
+	// scanShard appends copies of the shard's entries matching prefix.
+	scanShard(shard int, prefix string, out []Entry) []Entry
+	// entries returns the shard's live entry count.
+	entries(shard int) int
+	// stats snapshots the shard's operation counters.
+	stats(shard int) Counters
+}

@@ -161,43 +161,134 @@ func TestLinearizableStore(t *testing.T) {
 	}
 }
 
-// TestLinearizableLockstepClient records the same histories through the
-// wire protocol's lock-step clients, so framing, parsing and the
-// per-connection server handles are all on the checked path.
-func TestLinearizableLockstepClient(t *testing.T) {
+// runAsyncLinearClient drives ops operations through a multiplexed
+// async client with a real in-flight window, stamping invocation at
+// submission and response at Wait — exactly the interval in which the
+// op took effect.
+func runAsyncLinearClient(t *testing.T, cl *AsyncClient, client, nKeys, ops, depth int, hists []*linearize.History) {
+	type pendingOp struct {
+		op  linearize.Op
+		k   int
+		fut *Future
+	}
+	rng := xrand.New(uint64(client)*0x2545F4914F6CDD1D + 77)
+	seq := uint64(0)
+	window := make([]pendingOp, 0, depth)
+	settle := func(p pendingOp) bool {
+		h := hists[p.k]
+		resp, err := p.fut.Wait()
+		p.op.Ret = h.Now()
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		switch p.op.Kind {
+		case linearize.Get:
+			p.op.Found = resp.Status == StatusOK
+			if p.op.Found {
+				p.op.Val = decodeArg(t, fmt.Sprintf("async client %d key %d", client, p.k), resp.Value)
+			}
+		case linearize.Put:
+			p.op.Found = resp.Created
+		case linearize.Delete:
+			p.op.Found = resp.Status == StatusOK
+		}
+		h.Add(p.op)
+		return true
+	}
+	for i := 0; i < ops; i++ {
+		kind, draw := mixedOp(rng)
+		k := int(draw % uint64(nKeys))
+		key := workload.Key(uint64(k))
+		p := pendingOp{op: linearize.Op{Client: client, Kind: kind}, k: k}
+		p.op.Call = hists[k].Now()
+		switch kind {
+		case linearize.Get:
+			p.fut = cl.GetAsync(key)
+		case linearize.Put:
+			seq++
+			p.op.Arg = uint64(client)<<32 | seq
+			p.fut = cl.PutAsync(key, argValue(p.op.Arg))
+		case linearize.Delete:
+			p.fut = cl.DeleteAsync(key)
+		}
+		if len(window) == depth {
+			oldest := window[0]
+			window = append(window[:0], window[1:]...)
+			if !settle(oldest) {
+				return
+			}
+		}
+		window = append(window, p)
+	}
+	for _, p := range window {
+		if !settle(p) {
+			return
+		}
+	}
+}
+
+// TestLinearizableEngineMatrix is the full engine × connection-kind
+// cross-product: every shard engine (locked, actor, optimistic) drives
+// the same mixed history through direct in-process handles, lock-step
+// wire clients, and the multiplexed async client at depth 16 — and
+// every cell must be linearizable per key. This is the paper's paradigm
+// comparison held to a correctness standard, not just a throughput one.
+// Run with -race; CI's engine-matrix leg does.
+func TestLinearizableEngineMatrix(t *testing.T) {
 	const (
 		nClients = 4
 		nKeys    = 6
+		depth    = 16
 	)
 	ops := 400
 	if testing.Short() {
 		ops = 120
 	}
-	s := New(Options{Shards: 2, Buckets: 4, Lock: locks.MCS})
-	srv := NewServer(s, 2)
-	hists := newHistories(nKeys)
-	var wg sync.WaitGroup
-	for c := 0; c < nClients; c++ {
-		c := c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cl := srv.PipeClient()
-			defer cl.Close()
-			runLinearClient(t, cl, c, nKeys, ops, hists)
-		}()
+	kinds := []string{"direct", "lockstep", "async"}
+	for _, eng := range Engines {
+		for _, kind := range kinds {
+			eng, kind := eng, kind
+			t.Run(string(eng)+"/"+kind, func(t *testing.T) {
+				t.Parallel()
+				s := New(Options{Shards: 2, Buckets: 4, Engine: eng, Lock: locks.MCS,
+					MaxThreads: nClients + 2, Nodes: 2})
+				defer s.Close()
+				srv := NewServer(s, 2)
+				hists := newHistories(nKeys)
+				var wg sync.WaitGroup
+				for c := 0; c < nClients; c++ {
+					c := c
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						switch kind {
+						case "direct":
+							runLinearClient(t, s.NewLocalConn(c%2), c, nKeys, ops, hists)
+						case "lockstep":
+							cl := srv.PipeClient()
+							defer cl.Close()
+							runLinearClient(t, cl, c, nKeys, ops, hists)
+						case "async":
+							cl := srv.PipeAsyncClient(depth)
+							defer cl.Close()
+							runAsyncLinearClient(t, cl, c, nKeys, ops, depth, hists)
+						}
+					}()
+				}
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+				checkHistories(t, string(eng)+"/"+kind, hists)
+			})
+		}
 	}
-	wg.Wait()
-	if t.Failed() {
-		return
-	}
-	checkHistories(t, "lockstep", hists)
 }
 
-// TestPipelineLinearizable holds the multiplexed async client to the
-// same standard with a real in-flight window: each client keeps several
-// tagged requests outstanding, stamping invocation at submission and
-// response at Wait — exactly the interval in which the op took effect.
+// TestPipelineLinearizable keeps the historical name on the pipelined
+// cell of the matrix (the pipeline stress CI leg selects on it): the
+// locked engine behind the async client at the matrix depth.
 func TestPipelineLinearizable(t *testing.T) {
 	const (
 		nClients = 4
@@ -209,14 +300,9 @@ func TestPipelineLinearizable(t *testing.T) {
 		ops = 120
 	}
 	s := New(Options{Shards: 2, Buckets: 4, Lock: locks.TICKET})
+	defer s.Close()
 	srv := NewServer(s, 2)
 	hists := newHistories(nKeys)
-
-	type pendingOp struct {
-		op  linearize.Op
-		k   int
-		fut *Future
-	}
 	var wg sync.WaitGroup
 	for c := 0; c < nClients; c++ {
 		c := c
@@ -225,61 +311,7 @@ func TestPipelineLinearizable(t *testing.T) {
 			defer wg.Done()
 			cl := srv.PipeAsyncClient(depth)
 			defer cl.Close()
-			rng := xrand.New(uint64(c)*0x2545F4914F6CDD1D + 77)
-			seq := uint64(0)
-			window := make([]pendingOp, 0, depth)
-			settle := func(p pendingOp) bool {
-				h := hists[p.k]
-				resp, err := p.fut.Wait()
-				p.op.Ret = h.Now()
-				if err != nil {
-					t.Error(err)
-					return false
-				}
-				switch p.op.Kind {
-				case linearize.Get:
-					p.op.Found = resp.Status == StatusOK
-					if p.op.Found {
-						p.op.Val = decodeArg(t, fmt.Sprintf("async client %d key %d", c, p.k), resp.Value)
-					}
-				case linearize.Put:
-					p.op.Found = resp.Created
-				case linearize.Delete:
-					p.op.Found = resp.Status == StatusOK
-				}
-				h.Add(p.op)
-				return true
-			}
-			for i := 0; i < ops; i++ {
-				kind, draw := mixedOp(rng)
-				k := int(draw % uint64(nKeys))
-				key := workload.Key(uint64(k))
-				p := pendingOp{op: linearize.Op{Client: c, Kind: kind}, k: k}
-				p.op.Call = hists[k].Now()
-				switch kind {
-				case linearize.Get:
-					p.fut = cl.GetAsync(key)
-				case linearize.Put:
-					seq++
-					p.op.Arg = uint64(c)<<32 | seq
-					p.fut = cl.PutAsync(key, argValue(p.op.Arg))
-				case linearize.Delete:
-					p.fut = cl.DeleteAsync(key)
-				}
-				if len(window) == depth {
-					oldest := window[0]
-					window = append(window[:0], window[1:]...)
-					if !settle(oldest) {
-						return
-					}
-				}
-				window = append(window, p)
-			}
-			for _, p := range window {
-				if !settle(p) {
-					return
-				}
-			}
+			runAsyncLinearClient(t, cl, c, nKeys, ops, depth, hists)
 		}()
 	}
 	wg.Wait()

@@ -1,30 +1,35 @@
-// Package store is the system-level payoff of the paper's lock study: a
-// sharded concurrent key-value store whose N independent shards are each
-// an ssht-style bucket table guarded by any libslock algorithm
-// (internal/locks). Where internal/ssht reproduces the paper's hash-table
-// *microbenchmark* and internal/kvs mimics Memcached's locking anatomy,
-// this package is the store a service would actually build on: string
-// keys, byte-slice values, Get/Put/Delete plus an ordered prefix Scan,
-// per-shard operation counters for throughput attribution, and a
-// length-prefixed wire protocol (wire.go, server.go, client.go) so load
-// generators can drive it like real traffic.
+// Package store is the system-level payoff of the paper's synchronization
+// study: a sharded concurrent key-value store whose N independent shards
+// are executed by a pluggable ShardEngine — lock-guarded bucket tables
+// (any libslock algorithm), message-passing shard actors, or
+// optimistic-read shards with seqlock-style versioned gets. Where
+// internal/ssht reproduces the paper's hash-table *microbenchmark* and
+// internal/kvs mimics Memcached's locking anatomy, this package is the
+// store a service would actually build on: string keys, byte-slice
+// values, Get/Put/Delete plus an ordered prefix Scan, per-shard operation
+// counters for throughput attribution, and a length-prefixed wire
+// protocol (wire.go, server.go, client.go) so load generators can drive
+// it like real traffic.
 //
-// The shard layer turns the paper's lock comparison into an end-to-end
-// experiment: construct the same store with TAS, TICKET, MCS, CLH or the
-// hierarchical cohort locks and measure how the choice propagates through
-// a full request path instead of a tight acquire/release loop.
+// The engine layer (engine.go and the engine_*.go files) turns the
+// paper's paradigm comparison — locks vs message passing vs optimistic
+// concurrency — into an end-to-end experiment: construct the same store
+// with each engine and measure how the choice propagates through a full
+// request path instead of a tight acquire/release loop.
 package store
 
 import (
 	"fmt"
 	"sort"
 
+	"ssync/internal/hashkit"
 	"ssync/internal/locks"
 )
 
 // segCap is the number of entries per bucket segment; segments chain when
 // a bucket overflows. Hashes are packed together, separate from keys and
-// values, so a bucket miss scans only hash words (the ssht layout).
+// values, so a bucket miss scans only hash words (the ssht layout; see
+// internal/hashkit for why the two layouts intentionally diverge).
 const segCap = 7
 
 // segment is one chunk of a bucket.
@@ -36,8 +41,11 @@ type segment struct {
 	next   *segment
 }
 
-// Counters tallies the operations a shard has executed. It is maintained
-// under the shard lock and snapshotted by ShardStats.
+// Counters tallies the operations a shard has executed. How a snapshot
+// stays race-free is the engine's business: the locked engine counts
+// under the shard lock, the actor engine's counters are owned by the
+// shard goroutine and snapshotted through its mailbox, and the
+// optimistic engine counts with per-field atomics.
 type Counters struct {
 	Gets    uint64 `json:"gets"`
 	Puts    uint64 `json:"puts"`
@@ -59,160 +67,27 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
-// shardTable is one lock domain: a bucket table plus its counters.
+// shardTable is one shard's data: a segmented bucket table plus its
+// counters. It is a plain single-owner data structure — mutual exclusion
+// is the engine's job (a lock around it, or a goroutine owning it).
 type shardTable struct {
 	buckets []segment
 	ops     Counters
 	entries int
 }
 
-// Options configures a Store.
-type Options struct {
-	// Shards is the number of independently locked shards. Default 16.
-	Shards int
-	// Buckets is the bucket count per shard. Default 64.
-	Buckets int
-	// Lock selects the per-shard lock algorithm. Default TICKET.
-	Lock locks.Algorithm
-	// MaxThreads is forwarded to ARRAY locks.
-	MaxThreads int
-	// Nodes is the NUMA-node count forwarded to hierarchical locks.
-	Nodes int
+func newShardTable(buckets int) shardTable {
+	return shardTable{buckets: make([]segment, buckets)}
 }
 
-func (o Options) withDefaults() Options {
-	if o.Shards <= 0 {
-		o.Shards = 16
-	}
-	if o.Buckets <= 0 {
-		o.Buckets = 64
-	}
-	if o.Lock == "" {
-		o.Lock = locks.TICKET
-	}
-	return o
+func (sh *shardTable) bucketOf(hash uint64) *segment {
+	return &sh.buckets[hashkit.Bucket(hash, uint64(len(sh.buckets)))]
 }
 
-// Store is the sharded key-value store. Access goes through per-goroutine
-// Handles (the locks' queue state is per-goroutine).
-type Store struct {
-	opt    Options
-	shards []shardTable
-	guards []locks.Lock
-}
-
-// New creates a store.
-func New(opt Options) *Store {
-	opt = opt.withDefaults()
-	s := &Store{
-		opt:    opt,
-		shards: make([]shardTable, opt.Shards),
-		guards: make([]locks.Lock, opt.Shards),
-	}
-	lopt := locks.Options{MaxThreads: opt.MaxThreads, Nodes: opt.Nodes}
-	for i := range s.shards {
-		s.shards[i].buckets = make([]segment, opt.Buckets)
-		s.guards[i] = locks.New(opt.Lock, lopt)
-	}
-	return s
-}
-
-// Shards returns the shard count.
-func (s *Store) Shards() int { return s.opt.Shards }
-
-// Lock returns the configured shard-lock algorithm.
-func (s *Store) Lock() locks.Algorithm { return s.opt.Lock }
-
-// String describes the store configuration.
-func (s *Store) String() string {
-	return fmt.Sprintf("store(%d shards × %d buckets, %s locks)",
-		s.opt.Shards, s.opt.Buckets, s.opt.Lock)
-}
-
-// hashKey is FNV-1a over the key bytes.
-func hashKey(key string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-// Entry is one key-value pair returned by Scan.
-type Entry struct {
-	Key   string
-	Value []byte
-}
-
-// Handle is a per-goroutine accessor carrying the per-shard lock tokens.
-// Handles must not be shared between goroutines.
-type Handle struct {
-	s    *Store
-	toks []*locks.Token
-	node int
-	// ExecBatch grouping scratch, reused across batches: a handle serves
-	// one connection, and batch bookkeeping should not out-allocate the
-	// work being measured.
-	groups [][]int
-	hashes []uint64
-}
-
-// NewHandle creates an accessor; node is the NUMA hint for hierarchical
-// locks.
-func (s *Store) NewHandle(node int) *Handle {
-	return &Handle{s: s, toks: make([]*locks.Token, s.opt.Shards), node: node}
-}
-
-func (h *Handle) lock(i int) {
-	if h.toks[i] == nil {
-		h.toks[i] = h.s.guards[i].NewToken(h.node)
-	}
-	h.s.guards[i].Acquire(h.toks[i])
-}
-
-func (h *Handle) unlock(i int) { h.s.guards[i].Release(h.toks[i]) }
-
-// shardOf maps a hash to its shard; bucketOf remixes the hash (Fibonacci
-// hashing) so the bucket index is independent of the shard index.
-func (s *Store) shardOf(hash uint64) int { return int(hash % uint64(s.opt.Shards)) }
-func (s *Store) bucketOf(hash uint64) int {
-	return int((hash * 0x9e3779b97f4a7c15 >> 17) % uint64(s.opt.Buckets))
-}
-
-// Get returns a copy of the value stored under key.
-func (h *Handle) Get(key string) ([]byte, bool) {
-	hash := hashKey(key)
-	i := h.s.shardOf(hash)
-	h.lock(i)
-	defer h.unlock(i)
-	return h.s.getLocked(i, hash, key)
-}
-
-// Put inserts or replaces the value under key; it reports whether the key
-// was newly inserted. The value is copied.
-func (h *Handle) Put(key string, value []byte) bool {
-	hash := hashKey(key)
-	i := h.s.shardOf(hash)
-	h.lock(i)
-	defer h.unlock(i)
-	return h.s.putLocked(i, hash, key, value)
-}
-
-// Delete removes key; it reports whether the key was present.
-func (h *Handle) Delete(key string) bool {
-	hash := hashKey(key)
-	i := h.s.shardOf(hash)
-	h.lock(i)
-	defer h.unlock(i)
-	return h.s.deleteLocked(i, hash, key)
-}
-
-// getLocked is Get's body; shard i's lock must be held.
-func (s *Store) getLocked(i int, hash uint64, key string) ([]byte, bool) {
-	sh := &s.shards[i]
+// get returns a copy of the value stored under key.
+func (sh *shardTable) get(hash uint64, key string) ([]byte, bool) {
 	sh.ops.Gets++
-	for seg := &sh.buckets[s.bucketOf(hash)]; seg != nil; seg = seg.next {
+	for seg := sh.bucketOf(hash); seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
 			if seg.used[j] && seg.hashes[j] == hash && seg.keys[j] == key {
 				return append([]byte(nil), seg.vals[j]...), true
@@ -222,14 +97,14 @@ func (s *Store) getLocked(i int, hash uint64, key string) ([]byte, bool) {
 	return nil, false
 }
 
-// putLocked is Put's body; shard i's lock must be held.
-func (s *Store) putLocked(i int, hash uint64, key string, value []byte) bool {
-	sh := &s.shards[i]
+// put inserts or replaces; it reports whether the key was newly inserted.
+// The value is copied.
+func (sh *shardTable) put(hash uint64, key string, value []byte) bool {
 	sh.ops.Puts++
 	var freeSeg *segment
 	freeIdx := -1
 	last := (*segment)(nil)
-	for seg := &sh.buckets[s.bucketOf(hash)]; seg != nil; seg = seg.next {
+	for seg := sh.bucketOf(hash); seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
 			if seg.used[j] {
 				if seg.hashes[j] == hash && seg.keys[j] == key {
@@ -255,11 +130,10 @@ func (s *Store) putLocked(i int, hash uint64, key string, value []byte) bool {
 	return true
 }
 
-// deleteLocked is Delete's body; shard i's lock must be held.
-func (s *Store) deleteLocked(i int, hash uint64, key string) bool {
-	sh := &s.shards[i]
+// del removes key; it reports whether the key was present.
+func (sh *shardTable) del(hash uint64, key string) bool {
 	sh.ops.Deletes++
-	for seg := &sh.buckets[s.bucketOf(hash)]; seg != nil; seg = seg.next {
+	for seg := sh.bucketOf(hash); seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
 			if seg.used[j] && seg.hashes[j] == hash && seg.keys[j] == key {
 				seg.used[j] = false
@@ -273,14 +147,163 @@ func (s *Store) deleteLocked(i int, hash uint64, key string) bool {
 	return false
 }
 
-// ExecBatch executes a batch of scalar requests, amortizing locking the
-// way the paper prescribes: the point ops (get/put/delete) are grouped
-// by shard and each touched shard's lock is acquired exactly once for
-// its whole group, instead of once per key. Scans still walk all shards
-// one lock at a time, outside the grouped acquisitions. resps[i] is the
-// response to reqs[i]; a batch is a performance unit, not a transaction
-// — sub-ops linearize individually, and ops for one shard apply in
-// batch order.
+// scan appends copies of the entries whose keys start with prefix.
+func (sh *shardTable) scan(prefix string, out []Entry) []Entry {
+	sh.ops.Scans++
+	for b := range sh.buckets {
+		for s := &sh.buckets[b]; s != nil; s = s.next {
+			for j := 0; j < segCap; j++ {
+				if s.used[j] && hasPrefix(s.keys[j], prefix) {
+					out = append(out, Entry{Key: s.keys[j], Value: append([]byte(nil), s.vals[j]...)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the number of independently synchronized shards. Default 16.
+	Shards int
+	// Buckets is the bucket count per shard. Default 64.
+	Buckets int
+	// Engine selects the shard-engine paradigm. Default EngineLocked.
+	Engine Engine
+	// Lock selects the shard lock algorithm (locked engine) or the shard
+	// write-lock algorithm (optimistic engine); the actor engine has no
+	// locks. Default TICKET.
+	Lock locks.Algorithm
+	// MaxThreads is forwarded to ARRAY locks.
+	MaxThreads int
+	// Nodes is the NUMA-node count forwarded to hierarchical locks.
+	Nodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 64
+	}
+	if o.Engine == "" {
+		o.Engine = EngineLocked
+	}
+	if o.Lock == "" {
+		o.Lock = locks.TICKET
+	}
+	return o
+}
+
+// Store is the sharded key-value store. Access goes through per-goroutine
+// Handles (lock tokens and mailbox reply state are per-goroutine).
+type Store struct {
+	opt Options
+	eng shardEngine
+}
+
+// New creates a store. A store built with EngineActor owns goroutines;
+// call Close when done with it (Close is a no-op for the other engines).
+func New(opt Options) *Store {
+	opt = opt.withDefaults()
+	s := &Store{opt: opt}
+	switch opt.Engine {
+	case EngineActor:
+		s.eng = newActorEngine(opt)
+	case EngineOptimistic:
+		s.eng = newOptimisticEngine(opt)
+	default:
+		s.eng = newLockedEngine(opt)
+	}
+	return s
+}
+
+// Close releases engine resources (the actor engine's shard goroutines).
+// It must only be called after every Handle has quiesced; it is
+// idempotent.
+func (s *Store) Close() { s.eng.close() }
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return s.opt.Shards }
+
+// Lock returns the configured shard-lock algorithm (meaningless for the
+// actor engine, which has no locks).
+func (s *Store) Lock() locks.Algorithm { return s.opt.Lock }
+
+// Engine returns the shard-engine paradigm the store runs on.
+func (s *Store) Engine() Engine { return s.opt.Engine }
+
+// String describes the store configuration.
+func (s *Store) String() string {
+	if s.opt.Engine == EngineActor {
+		return fmt.Sprintf("store(%d shards × %d buckets, actor engine)",
+			s.opt.Shards, s.opt.Buckets)
+	}
+	return fmt.Sprintf("store(%d shards × %d buckets, %s locks, %s engine)",
+		s.opt.Shards, s.opt.Buckets, s.opt.Lock, s.opt.Engine)
+}
+
+// hashKey is FNV-1a over the key bytes.
+func hashKey(key string) uint64 { return hashkit.FNV1a(key) }
+
+// Entry is one key-value pair returned by Scan.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Handle is a per-goroutine accessor carrying the engine's per-goroutine
+// state (lock tokens, mailbox reply channel). Handles must not be shared
+// between goroutines.
+type Handle struct {
+	s   *Store
+	acc shardAccess
+	// ExecBatch grouping scratch, reused across batches: a handle serves
+	// one connection, and batch bookkeeping should not out-allocate the
+	// work being measured.
+	groups [][]int
+	hashes []uint64
+}
+
+// NewHandle creates an accessor; node is the NUMA hint for hierarchical
+// locks.
+func (s *Store) NewHandle(node int) *Handle {
+	return &Handle{s: s, acc: s.eng.access(node)}
+}
+
+// shardOf maps a hash to its shard; the bucket index inside the shard is
+// remixed (Fibonacci hashing) so it stays independent of the shard index.
+func (s *Store) shardOf(hash uint64) int { return int(hash % uint64(s.opt.Shards)) }
+
+// Get returns a copy of the value stored under key.
+func (h *Handle) Get(key string) ([]byte, bool) {
+	hash := hashKey(key)
+	return h.acc.get(h.s.shardOf(hash), hash, key)
+}
+
+// Put inserts or replaces the value under key; it reports whether the key
+// was newly inserted. The value is copied.
+func (h *Handle) Put(key string, value []byte) bool {
+	hash := hashKey(key)
+	return h.acc.put(h.s.shardOf(hash), hash, key, value)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (h *Handle) Delete(key string) bool {
+	hash := hashKey(key)
+	return h.acc.del(h.s.shardOf(hash), hash, key)
+}
+
+// ExecBatch executes a batch of scalar requests, amortizing
+// synchronization the way the paper prescribes: the point ops
+// (get/put/delete) are grouped by shard and each touched shard executes
+// its whole group in one engine visit — one lock acquisition (locked),
+// one mailbox round trip (actor), one write-lock hold for the group's
+// writes (optimistic). Scans still walk all shards one at a time,
+// outside the grouped execution. resps[i] is the response to reqs[i]; a
+// batch is a performance unit, not a transaction — sub-ops linearize
+// individually, and ops for one shard apply in batch order.
 func (h *Handle) ExecBatch(reqs []Request) []Response {
 	resps := make([]Response, len(reqs))
 	if h.groups == nil {
@@ -311,29 +334,7 @@ func (h *Handle) ExecBatch(reqs []Request) []Response {
 		if len(idxs) == 0 {
 			continue
 		}
-		h.lock(sh)
-		for _, i := range idxs {
-			r := reqs[i]
-			switch r.Op {
-			case OpGet:
-				v, ok := h.s.getLocked(sh, hashes[i], r.Key)
-				if ok {
-					resps[i] = Response{Status: StatusOK, Value: v}
-				} else {
-					resps[i] = Response{Status: StatusNotFound}
-				}
-			case OpPut:
-				created := h.s.putLocked(sh, hashes[i], r.Key, r.Value)
-				resps[i] = Response{Status: StatusOK, Created: created}
-			case OpDelete:
-				if h.s.deleteLocked(sh, hashes[i], r.Key) {
-					resps[i] = Response{Status: StatusOK}
-				} else {
-					resps[i] = Response{Status: StatusNotFound}
-				}
-			}
-		}
-		h.unlock(sh)
+		h.acc.execGroup(sh, reqs, hashes, idxs, resps)
 	}
 	if scans {
 		for i, r := range reqs {
@@ -345,27 +346,42 @@ func (h *Handle) ExecBatch(reqs []Request) []Response {
 	return resps
 }
 
+// execPointOps runs a point-op group through the given accessors and
+// fills in the responses — the response-shaping shared by every engine.
+func execPointOps(reqs []Request, hashes []uint64, idxs []int, resps []Response,
+	get func(hash uint64, key string) ([]byte, bool),
+	put func(hash uint64, key string, value []byte) bool,
+	del func(hash uint64, key string) bool) {
+	for _, i := range idxs {
+		r := reqs[i]
+		switch r.Op {
+		case OpGet:
+			if v, ok := get(hashes[i], r.Key); ok {
+				resps[i] = Response{Status: StatusOK, Value: v}
+			} else {
+				resps[i] = Response{Status: StatusNotFound}
+			}
+		case OpPut:
+			resps[i] = Response{Status: StatusOK, Created: put(hashes[i], r.Key, r.Value)}
+		case OpDelete:
+			if del(hashes[i], r.Key) {
+				resps[i] = Response{Status: StatusOK}
+			} else {
+				resps[i] = Response{Status: StatusNotFound}
+			}
+		}
+	}
+}
+
 // Scan returns up to limit entries whose keys start with prefix, sorted
-// by key. It visits the shards one at a time (one lock held at once), so
+// by key. It visits the shards one at a time (one engine visit each), so
 // the result is a union of per-shard snapshots, not a global atomic
 // snapshot — the usual contract of a sharded range read. limit <= 0 means
 // unlimited.
 func (h *Handle) Scan(prefix string, limit int) []Entry {
 	var out []Entry
-	for i := range h.s.shards {
-		h.lock(i)
-		sh := &h.s.shards[i]
-		sh.ops.Scans++
-		for b := range sh.buckets {
-			for s := &sh.buckets[b]; s != nil; s = s.next {
-				for j := 0; j < segCap; j++ {
-					if s.used[j] && hasPrefix(s.keys[j], prefix) {
-						out = append(out, Entry{Key: s.keys[j], Value: append([]byte(nil), s.vals[j]...)})
-					}
-				}
-			}
-		}
-		h.unlock(i)
+	for i := 0; i < h.s.opt.Shards; i++ {
+		out = h.acc.scanShard(i, prefix, out)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 	if limit > 0 && len(out) > limit {
@@ -378,25 +394,22 @@ func hasPrefix(s, prefix string) bool {
 	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
 }
 
-// Len counts live entries (takes every shard lock in turn).
+// Len counts live entries (one engine visit per shard).
 func (h *Handle) Len() int {
 	n := 0
-	for i := range h.s.shards {
-		h.lock(i)
-		n += h.s.shards[i].entries
-		h.unlock(i)
+	for i := 0; i < h.s.opt.Shards; i++ {
+		n += h.acc.entries(i)
 	}
 	return n
 }
 
-// ShardStats snapshots every shard's operation counters (takes each shard
-// lock in turn). Index k is shard k.
+// ShardStats snapshots every shard's operation counters (one engine
+// visit per shard). Index k is shard k. Snapshots are race-free under
+// every engine and each counter is monotone across snapshots.
 func (h *Handle) ShardStats() []Counters {
-	out := make([]Counters, len(h.s.shards))
-	for i := range h.s.shards {
-		h.lock(i)
-		out[i] = h.s.shards[i].ops
-		h.unlock(i)
+	out := make([]Counters, h.s.opt.Shards)
+	for i := range out {
+		out[i] = h.acc.stats(i)
 	}
 	return out
 }

@@ -10,8 +10,26 @@ import (
 	"ssync/internal/xrand"
 )
 
+// forEachEngine runs fn as a subtest per shard-engine paradigm, so the
+// basic semantic suite holds for locked, actor and optimistic stores
+// alike.
+func forEachEngine(t *testing.T, fn func(t *testing.T, opt Options)) {
+	for _, eng := range Engines {
+		eng := eng
+		t.Run(string(eng), func(t *testing.T) {
+			fn(t, Options{Engine: eng})
+		})
+	}
+}
+
 func TestBasicOps(t *testing.T) {
-	s := New(Options{Shards: 4, Buckets: 8})
+	forEachEngine(t, testBasicOps)
+}
+
+func testBasicOps(t *testing.T, opt Options) {
+	opt.Shards, opt.Buckets = 4, 8
+	s := New(opt)
+	defer s.Close()
 	h := s.NewHandle(0)
 
 	if _, ok := h.Get("missing"); ok {
@@ -39,7 +57,12 @@ func TestBasicOps(t *testing.T) {
 }
 
 func TestValueCopied(t *testing.T) {
-	s := New(Options{})
+	forEachEngine(t, testValueCopied)
+}
+
+func testValueCopied(t *testing.T, opt Options) {
+	s := New(opt)
+	defer s.Close()
 	h := s.NewHandle(0)
 	val := []byte("hello")
 	h.Put("k", val)
@@ -56,8 +79,15 @@ func TestValueCopied(t *testing.T) {
 }
 
 func TestBucketOverflowChains(t *testing.T) {
-	// One shard, one bucket: every key collides, forcing segment chains.
-	s := New(Options{Shards: 1, Buckets: 1})
+	forEachEngine(t, testBucketOverflowChains)
+}
+
+func testBucketOverflowChains(t *testing.T, opt Options) {
+	// One shard, one bucket: every key collides, forcing segment chains
+	// (or, for the optimistic engine, one large copy-on-write bucket).
+	opt.Shards, opt.Buckets = 1, 1
+	s := New(opt)
+	defer s.Close()
 	h := s.NewHandle(0)
 	const n = 100
 	for i := 0; i < n; i++ {
@@ -87,7 +117,13 @@ func TestBucketOverflowChains(t *testing.T) {
 }
 
 func TestScan(t *testing.T) {
-	s := New(Options{Shards: 8, Buckets: 4})
+	forEachEngine(t, testScan)
+}
+
+func testScan(t *testing.T, opt Options) {
+	opt.Shards, opt.Buckets = 8, 4
+	s := New(opt)
+	defer s.Close()
 	h := s.NewHandle(0)
 	for i := 0; i < 30; i++ {
 		h.Put(fmt.Sprintf("user-%04d", i), []byte{byte(i)})
@@ -124,7 +160,13 @@ func TestScan(t *testing.T) {
 }
 
 func TestShardStats(t *testing.T) {
-	s := New(Options{Shards: 4})
+	forEachEngine(t, testShardStats)
+}
+
+func testShardStats(t *testing.T, opt Options) {
+	opt.Shards = 4
+	s := New(opt)
+	defer s.Close()
 	h := s.NewHandle(0)
 	const puts, gets = 40, 25
 	for i := 0; i < puts; i++ {
@@ -202,7 +244,21 @@ func TestOptionsDefaults(t *testing.T) {
 	if s.Lock() != locks.TICKET {
 		t.Fatalf("default Lock = %s, want TICKET", s.Lock())
 	}
-	if got := s.String(); got != "store(16 shards × 64 buckets, TICKET locks)" {
+	if s.Engine() != EngineLocked {
+		t.Fatalf("default Engine = %s, want %s", s.Engine(), EngineLocked)
+	}
+	if got := s.String(); got != "store(16 shards × 64 buckets, TICKET locks, locked engine)" {
 		t.Fatalf("String = %q", got)
+	}
+	actor := New(Options{Engine: EngineActor})
+	defer actor.Close()
+	if got := actor.String(); got != "store(16 shards × 64 buckets, actor engine)" {
+		t.Fatalf("actor String = %q", got)
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Fatal("ParseEngine(bogus) must fail")
+	}
+	if e, err := ParseEngine("optimistic"); err != nil || e != EngineOptimistic {
+		t.Fatalf("ParseEngine(optimistic) = %v, %v", e, err)
 	}
 }
