@@ -1,0 +1,63 @@
+// Cluster: spin up a 3-node store cluster behind a consistent-hash
+// ring, show that every key has exactly one owner node, and drive a
+// batched pipelined routed client across the nodes — the repository's
+// single-node scaling story (shards → engines → pipelining) extended
+// past one process.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ssync/internal/cluster"
+	"ssync/internal/store"
+	"ssync/internal/workload"
+)
+
+const (
+	nodes   = 3
+	nKeys   = 9000
+	clients = 4
+	opsEach = 20000
+)
+
+func main() {
+	c := cluster.New(cluster.Options{Nodes: nodes, Store: store.Options{Shards: 8}})
+	defer c.Close()
+
+	// Ownership: the ring partitions the key space — one owner per key.
+	counts := make([]int, nodes)
+	for i := uint64(0); i < nKeys; i++ {
+		counts[c.Ring().Owner(workload.Key(i))]++
+	}
+	fmt.Printf("%d keys over %d nodes (%d virtual points each):\n", nKeys, nodes, c.Ring().Vnodes())
+	for n, cnt := range counts {
+		fmt.Printf("  node %d owns %5d keys (%4.1f%%)\n", n, cnt, 100*float64(cnt)/nKeys)
+	}
+
+	// Traffic: routed clients split each op group per owner node and
+	// keep several groups in flight through every node's async window.
+	scenario := workload.Scenario{
+		Keys:     nKeys,
+		Mix:      workload.Mix{Get: 90, Put: 10},
+		Preload:  nKeys / 2,
+		Phases:   []workload.Phase{{Name: "steady", Clients: clients, Ops: opsEach}},
+		Batch:    8,
+		Pipeline: 8,
+	}
+	start := time.Now()
+	results, err := workload.Run(scenario, func(int) (workload.Conn, error) {
+		return store.Driver{C: c.Dial(8)}, nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	steady := results[len(results)-1]
+	fmt.Printf("\n%d routed clients, batch 8 × depth 8: %d ops in %v (%.1f Kops/s)\n",
+		clients, steady.Ops, time.Since(start).Round(time.Millisecond), steady.Kops())
+	fmt.Println("\nEvery key lives on one node and there in one shard, so per-key")
+	fmt.Println("linearizability survives the cluster layer by construction.")
+	fmt.Println("Run `ssync cluster -nodes 4` for the single-node-baseline comparison.")
+}

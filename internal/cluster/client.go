@@ -1,0 +1,430 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ssync/internal/store"
+	"ssync/internal/workload"
+)
+
+// Client is the routing client of a cluster: one multiplexed
+// store.AsyncClient per node, with every key routed to its ring owner.
+// Point ops go to exactly one node; scans and the batch surfaces split
+// per node, dispatch the per-node sub-batches concurrently through each
+// connection's in-flight window, and reassemble the responses in the
+// caller's order. Like every other connection kind in the repository, a
+// Client is driven by one goroutine at a time (the per-node windows
+// below it do the overlapping).
+//
+// Client implements store.BatchConn, so it drops into every call site a
+// store connection fits — including workload scenarios via store.Driver,
+// where its Issue implementation (store.Issuer) keeps routed op groups
+// truly pipelined instead of blocking at issue time.
+type Client struct {
+	ring  *Ring
+	conns []*store.AsyncClient
+}
+
+// NewClient wraps one async connection per ring node. It errors when
+// the connection count does not match the ring.
+func NewClient(ring *Ring, conns []*store.AsyncClient) (*Client, error) {
+	if len(conns) != ring.Nodes() {
+		return nil, fmt.Errorf("cluster: %d connections for a %d-node ring", len(conns), ring.Nodes())
+	}
+	return &Client{ring: ring, conns: conns}, nil
+}
+
+// Ring returns the routing ring.
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Nodes returns the node count.
+func (c *Client) Nodes() int { return len(c.conns) }
+
+// Node returns the async connection to node i.
+func (c *Client) Node(i int) *store.AsyncClient { return c.conns[i] }
+
+// Owner returns the node that owns key.
+func (c *Client) Owner(key string) int { return c.ring.Owner(key) }
+
+// Close closes every node connection; every error is reported joined.
+func (c *Client) Close() error {
+	var errs []error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// GetAsync submits a routed get to the key's owner.
+func (c *Client) GetAsync(key string) *store.Future {
+	return c.conns[c.ring.Owner(key)].GetAsync(key)
+}
+
+// PutAsync submits a routed put to the key's owner.
+func (c *Client) PutAsync(key string, value []byte) *store.Future {
+	return c.conns[c.ring.Owner(key)].PutAsync(key, value)
+}
+
+// DeleteAsync submits a routed delete to the key's owner.
+func (c *Client) DeleteAsync(key string) *store.Future {
+	return c.conns[c.ring.Owner(key)].DeleteAsync(key)
+}
+
+// Get fetches the value under key from its owner.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	return c.conns[c.ring.Owner(key)].Get(key)
+}
+
+// Put stores value under key on its owner; it reports whether the key
+// was newly inserted.
+func (c *Client) Put(key string, value []byte) (bool, error) {
+	return c.conns[c.ring.Owner(key)].Put(key, value)
+}
+
+// Delete removes key from its owner; it reports whether the key was
+// present.
+func (c *Client) Delete(key string) (bool, error) {
+	return c.conns[c.ring.Owner(key)].Delete(key)
+}
+
+// Scan fans the prefix scan out to every node concurrently, merges the
+// per-node results (each already sorted) and trims to limit — the same
+// union-of-snapshots contract a single store's cross-shard scan has,
+// one level up. It is the one-request case of ExecBatch's scan path.
+func (c *Client) Scan(prefix string, limit int) ([]store.Entry, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	resps, err := c.ExecBatch([]store.Request{{Op: store.OpScan, Key: prefix, Limit: uint32(limit)}})
+	if err != nil {
+		return nil, err
+	}
+	return resps[0].Entries, nil
+}
+
+// routeGroups buckets request indices by owner node; scans (which have
+// no single owner) are returned separately.
+func (c *Client) routeGroups(reqs []store.Request, resps []store.Response) (groups [][]int, scans []int) {
+	groups = make([][]int, len(c.conns))
+	for i, r := range reqs {
+		switch r.Op {
+		case store.OpGet, store.OpPut, store.OpDelete:
+			n := c.ring.Owner(r.Key)
+			groups[n] = append(groups[n], i)
+		case store.OpScan:
+			scans = append(scans, i)
+		default:
+			if resps != nil {
+				resps[i] = store.Response{Status: store.StatusError, Msg: store.ErrBadOp.Error()}
+			}
+		}
+	}
+	return groups, scans
+}
+
+// subRequests gathers the requests at idxs, in order.
+func subRequests(reqs []store.Request, idxs []int) []store.Request {
+	sub := make([]store.Request, len(idxs))
+	for j, i := range idxs {
+		sub[j] = reqs[i]
+	}
+	return sub
+}
+
+// splitByOwner buckets item indices 0..n-1 by the ring owner of
+// key(i) — the one routing loop MGet and MPut share.
+func (c *Client) splitByOwner(n int, key func(i int) string) [][]int {
+	groups := make([][]int, len(c.conns))
+	for i := 0; i < n; i++ {
+		owner := c.ring.Owner(key(i))
+		groups[owner] = append(groups[owner], i)
+	}
+	return groups
+}
+
+// ExecBatch splits the batch per owner node, ships each node's sub-batch
+// as one frame, dispatches all of them before waiting on any (they
+// overlap through the per-node windows), and scatters the sub-responses
+// back so resps[i] answers reqs[i]. Scans inside a batch fan out to
+// every node like Scan. Per-node sub-batches inherit the single-frame
+// contract of Client.ExecBatch.
+func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
+	resps := make([]store.Response, len(reqs))
+	groups, scans := c.routeGroups(reqs, resps)
+	type part struct {
+		idxs []int
+		fut  *store.Future
+	}
+	var parts []part
+	for n, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		parts = append(parts, part{idxs: idxs, fut: c.conns[n].BatchAsync(subRequests(reqs, idxs))})
+	}
+	type scanPart struct {
+		idx  int
+		futs []*store.Future
+	}
+	scanParts := make([]scanPart, 0, len(scans))
+	for _, i := range scans {
+		sp := scanPart{idx: i, futs: make([]*store.Future, len(c.conns))}
+		for n, conn := range c.conns {
+			sp.futs[n] = conn.ScanAsync(reqs[i].Key, int(reqs[i].Limit))
+		}
+		scanParts = append(scanParts, sp)
+	}
+	var firstErr error
+	for _, p := range parts {
+		sub, err := p.fut.WaitBatch()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for j, i := range p.idxs {
+			resps[i] = sub[j]
+		}
+	}
+	for _, sp := range scanParts {
+		var entries []store.Entry
+		scanErr := error(nil)
+		for _, f := range sp.futs {
+			resp, err := f.Wait()
+			if err != nil {
+				scanErr = err
+				break
+			}
+			entries = append(entries, resp.Entries...)
+		}
+		if scanErr != nil {
+			if firstErr == nil {
+				firstErr = scanErr
+			}
+			continue
+		}
+		sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
+		if limit := int(reqs[sp.idx].Limit); limit > 0 && len(entries) > limit {
+			entries = entries[:limit]
+		}
+		resps[sp.idx] = store.Response{Status: store.StatusOK, Entries: entries}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return resps, nil
+}
+
+// MGet splits the keys per owner node and fetches the per-node groups
+// concurrently (each node's blocking MGet pipelines its own chunks);
+// values[i] is nil when keys[i] is absent.
+func (c *Client) MGet(keys []string) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	groups := c.splitByOwner(len(keys), func(i int) string { return keys[i] })
+	errs := make([]error, len(c.conns))
+	var wg sync.WaitGroup
+	for n, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		n, idxs := n, idxs
+		sub := make([]string, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vs, err := c.conns[n].MGet(sub)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			for j, i := range idxs {
+				vals[i] = vs[j]
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// MPut splits the entries per owner node and stores the per-node groups
+// concurrently; it reports how many keys were newly inserted.
+func (c *Client) MPut(entries []store.Entry) (int, error) {
+	groups := c.splitByOwner(len(entries), func(i int) string { return entries[i].Key })
+	created := make([]int, len(c.conns))
+	errs := make([]error, len(c.conns))
+	var wg sync.WaitGroup
+	for n, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		n, idxs := n, idxs
+		sub := make([]store.Entry, len(idxs))
+		for j, i := range idxs {
+			sub[j] = entries[i]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			created[n], errs[n] = c.conns[n].MPut(sub)
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range created {
+		total += n
+	}
+	return total, errors.Join(errs...)
+}
+
+var (
+	_ store.BatchConn = (*Client)(nil)
+	_ store.Issuer    = (*Client)(nil)
+)
+
+// Issue starts one op group without waiting for its results: the group
+// is split per owner node, every per-node sub-batch (and per-scan
+// fan-out) is submitted through the async windows immediately, and the
+// returned Pending reassembles the outcome at Wait. A scenario driving
+// a cluster conn with pipeline depth d therefore keeps up to d routed
+// groups in flight — the same overlap the single-node async client
+// gives, across nodes.
+func (c *Client) Issue(ops []workload.Op) workload.Pending {
+	if len(ops) == 1 && ops[0].Kind != workload.KindScan {
+		return &routedScalarPending{op: ops[0], fut: c.submitScalar(ops[0])}
+	}
+	reqs := store.ToRequests(ops)
+	groups, scans := c.routeGroups(reqs, nil)
+	p := &routedPending{c: c}
+	for n, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := subRequests(reqs, idxs)
+		p.parts = append(p.parts, routedPart{node: n, reqs: sub, fut: c.conns[n].BatchAsync(sub)})
+	}
+	for _, i := range scans {
+		sp := routedScan{limit: int(reqs[i].Limit), futs: make([]*store.Future, len(c.conns))}
+		for n, conn := range c.conns {
+			sp.futs[n] = conn.ScanAsync(reqs[i].Key, sp.limit)
+		}
+		p.scans = append(p.scans, sp)
+	}
+	return p
+}
+
+// submitScalar routes one point op to its owner's async surface.
+func (c *Client) submitScalar(op workload.Op) *store.Future {
+	switch op.Kind {
+	case workload.KindGet:
+		return c.GetAsync(op.Key)
+	case workload.KindPut:
+		return c.PutAsync(op.Key, op.Value)
+	default:
+		return c.DeleteAsync(op.Key)
+	}
+}
+
+// routedScalarPending resolves a pipelined routed point op.
+type routedScalarPending struct {
+	op  workload.Op
+	fut *store.Future
+}
+
+func (p *routedScalarPending) Wait() (workload.Outcome, error) {
+	resp, err := p.fut.Wait()
+	if err != nil {
+		return workload.Outcome{}, err
+	}
+	out := workload.Outcome{Ops: 1}
+	switch p.op.Kind {
+	case workload.KindGet:
+		if resp.Status == store.StatusOK {
+			out.Hits++
+		} else {
+			out.Misses++
+		}
+	case workload.KindPut:
+		if resp.Created {
+			out.Created++
+		}
+	}
+	return out, nil
+}
+
+// routedPart is one node's share of an issued op group.
+type routedPart struct {
+	node int
+	reqs []store.Request
+	fut  *store.Future
+}
+
+// routedScan is one scan op's all-node fan-out.
+type routedScan struct {
+	limit int
+	futs  []*store.Future
+}
+
+// routedPending reassembles an issued group: per-node batch outcomes
+// plus merged scan counts.
+type routedPending struct {
+	c     *Client
+	parts []routedPart
+	scans []routedScan
+}
+
+func (p *routedPending) Wait() (workload.Outcome, error) {
+	var total workload.Outcome
+	var firstErr error
+	for _, part := range p.parts {
+		resps, err := part.fut.WaitBatch()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out, err := store.BatchOutcome(p.c.conns[part.node], part.reqs, resps)
+		total.Add(out)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, sp := range p.scans {
+		count := 0
+		scanErr := error(nil)
+		for _, f := range sp.futs {
+			resp, err := f.Wait()
+			if err != nil {
+				scanErr = err
+				break
+			}
+			count += len(resp.Entries)
+		}
+		if scanErr != nil {
+			if firstErr == nil {
+				firstErr = scanErr
+			}
+			continue
+		}
+		// The merged-and-trimmed entry count, without materializing the
+		// merge: min(sum, limit) is exactly what Scan would return.
+		if sp.limit > 0 && count > sp.limit {
+			count = sp.limit
+		}
+		total.Ops++
+		total.Scanned += uint64(count)
+	}
+	return total, firstErr
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ssync/internal/store"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Nodes is the cluster size. Default 3.
+	Nodes int
+	// Vnodes is the ring's virtual-point count per node. Default
+	// DefaultVnodes.
+	Vnodes int
+	// NumaNodes is forwarded to each node's wire server (connection
+	// striping for hierarchical locks). Default 2.
+	NumaNodes int
+	// Store configures every node's store (engine, lock algorithm,
+	// shards); each node gets an independent store built from it.
+	Store store.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes < 1 {
+		o.Nodes = 3
+	}
+	if o.Vnodes < 1 {
+		o.Vnodes = DefaultVnodes
+	}
+	if o.NumaNodes < 1 {
+		o.NumaNodes = 2
+	}
+	return o
+}
+
+// Cluster is N independent store nodes behind one consistent-hash ring —
+// the test and CLI helper that turns "a store" into "a cluster" in one
+// call. Each node is a full store.Server over its own store (any shard
+// engine × any lock algorithm), served over in-process pipes exactly
+// like the single-node experiments, so a cluster run measures routing
+// and fan-out cost, not a different transport.
+type Cluster struct {
+	opt     Options
+	ring    *Ring
+	stores  []*store.Store
+	servers []*store.Server
+}
+
+// New builds and starts a cluster.
+func New(opt Options) *Cluster {
+	opt = opt.withDefaults()
+	c := &Cluster{opt: opt, ring: NewRing(opt.Nodes, opt.Vnodes)}
+	for i := 0; i < opt.Nodes; i++ {
+		st := store.New(opt.Store)
+		c.stores = append(c.stores, st)
+		c.servers = append(c.servers, store.NewServer(st, opt.NumaNodes))
+	}
+	return c
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.opt.Nodes }
+
+// Ring returns the routing ring shared by every client of this cluster.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Store returns node i's store (counter snapshots, direct handles).
+func (c *Cluster) Store(i int) *store.Store { return c.stores[i] }
+
+// Server returns node i's wire server.
+func (c *Cluster) Server(i int) *store.Server { return c.servers[i] }
+
+// Dial opens a routing client: one multiplexed pipe connection per node,
+// each with the given in-flight window (non-positive means
+// store.DefaultWindow). window 1 is the lock-step routed client.
+func (c *Cluster) Dial(window int) *Client {
+	conns := make([]*store.AsyncClient, len(c.servers))
+	for i, sv := range c.servers {
+		conns[i] = sv.PipeAsyncClient(window)
+	}
+	cl, err := NewClient(c.ring, conns)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: dial: %v", err)) // ring and servers are built together
+	}
+	return cl
+}
+
+// Close shuts down every node's store. Call it after every client has
+// been closed; it is idempotent.
+func (c *Cluster) Close() {
+	for _, st := range c.stores {
+		st.Close()
+	}
+}
+
+// String describes the cluster configuration.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster(%d nodes × %s, %d vnodes)", c.opt.Nodes, c.stores[0], c.opt.Vnodes)
+}

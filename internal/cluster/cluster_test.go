@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ssync/internal/locks"
+	"ssync/internal/store"
+	"ssync/internal/workload"
+)
+
+func newTestCluster(t *testing.T, nodes int, opt store.Options) *Cluster {
+	t.Helper()
+	c := New(Options{Nodes: nodes, Store: opt})
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestClusterPointOps: routed puts land on exactly the ring owner's
+// store, and gets/deletes find them through any client.
+func TestClusterPointOps(t *testing.T) {
+	c := newTestCluster(t, 3, store.Options{Shards: 4, Lock: locks.TICKET})
+	cl := c.Dial(0)
+	defer cl.Close()
+
+	const keys = 200
+	for i := uint64(0); i < keys; i++ {
+		key := workload.Key(i)
+		created, err := cl.Put(key, []byte(key))
+		if err != nil || !created {
+			t.Fatalf("put %q: created=%v err=%v", key, created, err)
+		}
+	}
+	// Every key readable through the routing client, and present on the
+	// owner node ONLY — single-owner partitioning, checked directly
+	// against the per-node stores.
+	for i := uint64(0); i < keys; i++ {
+		key := workload.Key(i)
+		v, found, err := cl.Get(key)
+		if err != nil || !found || !bytes.Equal(v, []byte(key)) {
+			t.Fatalf("get %q = %q, found=%v, err=%v", key, v, found, err)
+		}
+		owner := c.Ring().Owner(key)
+		for n := 0; n < c.Nodes(); n++ {
+			h := c.Store(n).NewHandle(0)
+			_, ok := h.Get(key)
+			if ok != (n == owner) {
+				t.Fatalf("key %q: present=%v on node %d, owner is %d", key, ok, n, owner)
+			}
+		}
+	}
+	// Deletes route too.
+	for i := uint64(0); i < keys; i += 2 {
+		existed, err := cl.Delete(workload.Key(i))
+		if err != nil || !existed {
+			t.Fatalf("delete %d: existed=%v err=%v", i, existed, err)
+		}
+	}
+	for i := uint64(0); i < keys; i++ {
+		_, found, err := cl.Get(workload.Key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i%2 == 1; found != want {
+			t.Fatalf("key %d: found=%v after deletes, want %v", i, found, want)
+		}
+	}
+}
+
+// TestClusterBatchOrder: ExecBatch reassembles responses in request
+// order, and same-key sub-ops apply in batch order (same owner → same
+// sub-batch → server-side batch order), so a put-then-get pair inside
+// one routed batch observes itself.
+func TestClusterBatchOrder(t *testing.T) {
+	c := newTestCluster(t, 3, store.Options{Shards: 4})
+	cl := c.Dial(0)
+	defer cl.Close()
+
+	var reqs []store.Request
+	const n = 60
+	for i := 0; i < n; i++ {
+		key := workload.Key(uint64(i))
+		reqs = append(reqs,
+			store.Request{Op: store.OpPut, Key: key, Value: []byte(fmt.Sprintf("v%d", i))},
+			store.Request{Op: store.OpGet, Key: key})
+	}
+	resps, err := cl.ExecBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(reqs) {
+		t.Fatalf("%d responses for %d requests", len(resps), len(reqs))
+	}
+	for i := 0; i < n; i++ {
+		put, get := resps[2*i], resps[2*i+1]
+		if put.Status != store.StatusOK || !put.Created {
+			t.Fatalf("put %d: %+v", i, put)
+		}
+		if get.Status != store.StatusOK || !bytes.Equal(get.Value, []byte(fmt.Sprintf("v%d", i))) {
+			t.Fatalf("get %d after put in same batch: %+v", i, get)
+		}
+	}
+}
+
+// TestClusterScanMerge: a routed scan equals the same scan against one
+// store holding all the data — globally sorted, limit respected.
+func TestClusterScanMerge(t *testing.T) {
+	c := newTestCluster(t, 4, store.Options{Shards: 4})
+	cl := c.Dial(0)
+	defer cl.Close()
+
+	single := store.New(store.Options{Shards: 4})
+	defer single.Close()
+	ref := single.NewHandle(0)
+
+	for i := uint64(0); i < 300; i++ {
+		key := workload.Key(i)
+		if _, err := cl.Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ref.Put(key, []byte{byte(i)})
+	}
+	for _, limit := range []int{0, 7, 50} {
+		got, err := cl.Scan("key-000001", limit) // keys 100..199
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Scan("key-000001", limit)
+		if len(got) != len(want) {
+			t.Fatalf("limit %d: %d entries, single-store scan has %d", limit, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key {
+				t.Fatalf("limit %d: entry %d is %q, want %q (merge order broken)",
+					limit, i, got[i].Key, want[i].Key)
+			}
+		}
+	}
+}
+
+// TestClusterMGetMPut: the multi-ops split per node and reassemble in
+// caller order.
+func TestClusterMGetMPut(t *testing.T) {
+	c := newTestCluster(t, 3, store.Options{Shards: 2})
+	cl := c.Dial(0)
+	defer cl.Close()
+
+	var entries []store.Entry
+	for i := uint64(0); i < 150; i++ {
+		entries = append(entries, store.Entry{Key: workload.Key(i), Value: []byte(workload.Key(i))})
+	}
+	created, err := cl.MPut(entries)
+	if err != nil || created != len(entries) {
+		t.Fatalf("mput created %d of %d, err=%v", created, len(entries), err)
+	}
+	keys := make([]string, 0, 160)
+	for i := uint64(0); i < 160; i++ { // the last 10 are absent
+		keys = append(keys, workload.Key(i))
+	}
+	vals, err := cl.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if i < 150 {
+			if !bytes.Equal(vals[i], []byte(k)) {
+				t.Fatalf("mget[%d] = %q, want %q", i, vals[i], k)
+			}
+		} else if vals[i] != nil {
+			t.Fatalf("mget[%d] = %q for absent key", i, vals[i])
+		}
+	}
+}
+
+// TestClusterWorkloadDriver: the scenario engine drives a routed cluster
+// conn through store.Driver — batched, pipelined, every engine — and the
+// counted ops survive the split/reassembly.
+func TestClusterWorkloadDriver(t *testing.T) {
+	for _, eng := range store.Engines {
+		eng := eng
+		t.Run(string(eng), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, 3, store.Options{Shards: 4, Engine: eng, Lock: locks.TICKET})
+			scenario := workload.Scenario{
+				Keys:      512,
+				Mix:       workload.Mix{Get: 80, Put: 15, Scan: 5},
+				Preload:   256,
+				Phases:    []workload.Phase{{Name: "steady", Clients: 4, Ops: 600}},
+				Batch:     8,
+				Pipeline:  4,
+				ScanLimit: 8,
+			}
+			results, err := workload.Run(scenario, func(i int) (workload.Conn, error) {
+				return store.Driver{C: c.Dial(4)}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			steady := results[len(results)-1]
+			if want := uint64(4 * 600); steady.Ops != want {
+				t.Fatalf("counted %d ops, want %d", steady.Ops, want)
+			}
+			if steady.Hits == 0 || steady.Created == 0 {
+				t.Fatalf("no hits (%d) or creates (%d) in a preloaded mixed run", steady.Hits, steady.Created)
+			}
+		})
+	}
+}
+
+// TestClusterOwnerAgreesWithClient: the client's routing is exactly the
+// ring's (no second hashing path to drift).
+func TestClusterOwnerAgreesWithClient(t *testing.T) {
+	c := newTestCluster(t, 5, store.Options{})
+	cl := c.Dial(1)
+	defer cl.Close()
+	for i := uint64(0); i < 2000; i++ {
+		key := workload.Key(i)
+		if cl.Owner(key) != c.Ring().Owner(key) {
+			t.Fatalf("client and ring disagree on %q", key)
+		}
+	}
+}

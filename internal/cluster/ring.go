@@ -1,0 +1,108 @@
+// Package cluster lifts the sharded store (internal/store) from one
+// process to many: a Cluster spins up N wire servers, each owning an
+// independent store (any shard engine × any lock algorithm), and a
+// routing Client maps every key to exactly one node through a
+// consistent-hash ring and drives the nodes through the multiplexed
+// async wire clients.
+//
+// The design keeps the single-owner discipline the rest of the
+// repository is built on. A key lives on exactly one node (the ring
+// owner), and on that node in exactly one shard — so every per-key
+// history still runs through one synchronization point, and the per-key
+// linearizability the Wing–Gong checker establishes for a single store
+// is preserved by construction across the cluster. Contrast optimistic
+// replication (CRDTs, eventual convergence), which buys availability by
+// giving up exactly this property.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ssync/internal/hashkit"
+)
+
+// DefaultVnodes is the virtual-node count per node used when a Ring is
+// built with a non-positive one. More virtual points smooth the arc
+// lengths between nodes: with v points per node the expected imbalance
+// shrinks like 1/sqrt(v), and 128 keeps every node within roughly ±10%
+// of fair share while lookups stay a short binary search.
+const DefaultVnodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node int
+}
+
+// Ring is a consistent-hash ring over n nodes with virtual points. A
+// key's owner is the node of the first point clockwise of the key's
+// ring position; the mapping depends only on (nodes, vnodes), so two
+// rings built with the same parameters route identically — a client and
+// a test harness never disagree about ownership. Adding a node moves
+// only the keys that land on the new node's points; every other key
+// keeps its owner (the consistent-hashing property the routing-stability
+// test pins down).
+type Ring struct {
+	nodes  int
+	vnodes int
+	points []point
+}
+
+// NewRing builds a ring over nodes nodes with vnodes virtual points per
+// node (non-positive means DefaultVnodes).
+func NewRing(nodes, vnodes int) *Ring {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if vnodes < 1 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{nodes: nodes, vnodes: vnodes, points: make([]point, 0, nodes*vnodes)}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // deterministic tie-break, node order
+	})
+	return r
+}
+
+// pointHash places virtual point v of node n on the ring. The FNV hash
+// of the short label is pushed through the avalanche remix — without it
+// the points cluster and the arcs (hence the nodes' key shares) are
+// wildly uneven.
+func pointHash(node, vnode int) uint64 {
+	return hashkit.Mix64(hashkit.FNV1a(fmt.Sprintf("node-%d#vnode-%d", node, vnode)))
+}
+
+// Nodes returns the node count.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Vnodes returns the virtual-point count per node.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Owner returns the node owning key.
+func (r *Ring) Owner(key string) int {
+	return r.OwnerHash(hashkit.FNV1a(key))
+}
+
+// OwnerHash returns the node owning a key with the given FNV-1a hash.
+// The hash is avalanche-remixed before the ring lookup, so the ring
+// position is independent of the bits the node's store spends on shard
+// selection (hash % shards) — the same bit-budget discipline
+// hashkit.Bucket applies inside a shard.
+func (r *Ring) OwnerHash(h uint64) int {
+	pos := hashkit.Mix64(h)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap: positions past the last point belong to the first
+	}
+	return r.points[i].node
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"ssync/internal/workload"
+)
+
+// TestRingDeterministic: two rings built with the same parameters route
+// every key identically — a key's owner is a pure function of the ring
+// shape, so clients, tests and the CLI never disagree about ownership.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(5, 64)
+	b := NewRing(5, 64)
+	for i := uint64(0); i < 10000; i++ {
+		key := workload.Key(i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %d vs %d on identically-built rings", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing property the routing
+// layer exists for: growing the ring from n to n+1 nodes may move a key
+// only to the new node — every key that does not land on the new node's
+// points keeps its owner. A key's owner changes only when the ring does.
+func TestRingStability(t *testing.T) {
+	const keys = 20000
+	for n := 1; n <= 6; n++ {
+		old := NewRing(n, 64)
+		grown := NewRing(n+1, 64)
+		moved := 0
+		for i := uint64(0); i < keys; i++ {
+			key := workload.Key(i)
+			was, now := old.Owner(key), grown.Owner(key)
+			if was == now {
+				continue
+			}
+			if now != n {
+				t.Fatalf("%d→%d nodes: key %q moved %d→%d, not to the new node %d",
+					n, n+1, key, was, now, n)
+			}
+			moved++
+		}
+		// Roughly 1/(n+1) of the keys should move — far from all of them
+		// (the modulo-routing failure mode) and far from none.
+		expected := keys / (n + 1)
+		if moved < expected/2 || moved > 2*expected {
+			t.Fatalf("%d→%d nodes: %d of %d keys moved, expected ~%d", n, n+1, moved, keys, expected)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes keep the per-node key share near fair.
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 4, 40000
+	r := NewRing(nodes, 0) // DefaultVnodes
+	counts := make([]int, nodes)
+	for i := uint64(0); i < keys; i++ {
+		n := r.Owner(workload.Key(i))
+		if n < 0 || n >= nodes {
+			t.Fatalf("owner %d out of range", n)
+		}
+		counts[n]++
+	}
+	fair := keys / nodes
+	for n, c := range counts {
+		if c < fair/2 || c > 2*fair {
+			t.Fatalf("node %d owns %d of %d keys (fair %d): ring badly unbalanced %v",
+				n, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingDegenerate: non-positive parameters collapse to a working
+// single-node ring instead of an empty points slice.
+func TestRingDegenerate(t *testing.T) {
+	r := NewRing(0, -1)
+	if r.Nodes() != 1 || r.Vnodes() != DefaultVnodes {
+		t.Fatalf("got %d nodes × %d vnodes", r.Nodes(), r.Vnodes())
+	}
+	if n := r.Owner("anything"); n != 0 {
+		t.Fatalf("single-node ring routed to %d", n)
+	}
+}

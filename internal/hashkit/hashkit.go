@@ -34,6 +34,21 @@ func FNV1a(key string) uint64 {
 	return h
 }
 
+// Mix64 is the splitmix64 avalanche finalizer: every input bit affects
+// every output bit. FNV-1a over short, similar keys (the consistent-hash
+// ring's "node-i#vnode-j" labels) leaves enough structure that raw
+// hashes cluster on the ring; a full-avalanche remix spreads them
+// uniformly. Use it when the *whole* 64-bit value must be uniform — the
+// Fibonacci remix in Bucket only needs uniform high bits.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // Bucket remixes hash with the Fibonacci constant and reduces it to
 // [0, nBuckets). The remix makes the bucket index independent of the
 // low bits, which callers typically spend on shard or server selection.

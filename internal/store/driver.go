@@ -40,26 +40,36 @@ func (d Driver) Close() error { return d.C.Close() }
 
 var _ workload.PipeConn = Driver{}
 
+// Issuer is a Conn that routes and pipelines op groups itself — the
+// cluster routing client (internal/cluster), which must split a group
+// across nodes before any batch frame exists. Driver defers to it
+// wholesale.
+type Issuer interface {
+	Issue(ops []workload.Op) workload.Pending
+}
+
 // Issue starts one op group. A single scalar op skips batch framing
 // entirely; groups go out as one batch frame.
 func (d Driver) Issue(ops []workload.Op) workload.Pending {
 	switch c := d.C.(type) {
+	case Issuer:
+		return c.Issue(ops)
 	case *AsyncClient:
 		if len(ops) == 1 {
 			return scalarPending{op: ops[0], f: submitScalar(c, ops[0])}
 		}
-		reqs := toRequests(ops)
+		reqs := ToRequests(ops)
 		return batchPending{conn: d.C, reqs: reqs, f: c.BatchAsync(reqs)}
 	case BatchConn:
 		if len(ops) == 1 {
 			return donePending(execScalar(d.C, ops[0]))
 		}
-		reqs := toRequests(ops)
+		reqs := ToRequests(ops)
 		resps, err := c.ExecBatch(reqs)
 		if err != nil {
 			return donePending(workload.Outcome{}, err)
 		}
-		out, err := batchOutcome(d.C, reqs, resps)
+		out, err := BatchOutcome(d.C, reqs, resps)
 		return donePending(out, err)
 	default:
 		var out workload.Outcome
@@ -124,8 +134,8 @@ func execScalar(c Conn, op workload.Op) (workload.Outcome, error) {
 	return out, nil
 }
 
-// toRequests maps an op group onto wire requests.
-func toRequests(ops []workload.Op) []Request {
+// ToRequests maps an op group onto wire requests.
+func ToRequests(ops []workload.Op) []Request {
 	reqs := make([]Request, len(ops))
 	for i, op := range ops {
 		switch op.Kind {
@@ -146,12 +156,12 @@ func toRequests(ops []workload.Op) []Request {
 	return reqs
 }
 
-// batchOutcome tallies a batch's sub-responses, surfacing any sub-error.
+// BatchOutcome tallies a batch's sub-responses, surfacing any sub-error.
 // A sub-response the server degraded to fit the frame (MsgBatchOverflow)
 // is re-executed scalar over conn — the per-key contract the blocking
 // MGet wrapper keeps, so an over-full batch degrades a run's throughput
 // instead of aborting it.
-func batchOutcome(conn Conn, reqs []Request, resps []Response) (workload.Outcome, error) {
+func BatchOutcome(conn Conn, reqs []Request, resps []Response) (workload.Outcome, error) {
 	var out workload.Outcome
 	for i, r := range resps {
 		if r.Status == StatusError {
@@ -252,5 +262,5 @@ func (p batchPending) Wait() (workload.Outcome, error) {
 	if err != nil {
 		return workload.Outcome{}, err
 	}
-	return batchOutcome(p.conn, p.reqs, resps)
+	return BatchOutcome(p.conn, p.reqs, resps)
 }

@@ -11,8 +11,10 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ssync/internal/xrand"
 )
@@ -42,8 +44,10 @@ func NewUniform(n uint64) Uniform {
 	return Uniform{n: n}
 }
 
-// Next implements Dist.
-func (u Uniform) Next(r *xrand.Rand) uint64 { return r.Uint64() % u.n }
+// Next implements Dist. The draw is unbiased (xrand.Uint64n's Lemire
+// rejection): the old Uint64()%n draw over-weighted low key ranks for
+// any key space that does not divide 2^64.
+func (u Uniform) Next(r *xrand.Rand) uint64 { return r.Uint64n(u.n) }
 
 // Keys implements Dist.
 func (u Uniform) Keys() uint64 { return u.n }
@@ -55,8 +59,11 @@ func (u Uniform) Name() string { return "uniform" }
 // "Quickly generating billion-record synthetic databases"): rank 0 is the
 // hottest key. theta in (0, 1) sets the skew; 0.99 is the YCSB default,
 // where the hottest ~10% of keys draw most of the traffic. The constants
-// are precomputed at construction (the zeta sum is O(n)), so Next is a
-// few flops.
+// are precomputed at construction and the O(n) zeta sum is memoized by
+// (n, theta) — repeated constructions over the same key space are O(1),
+// and a larger key space only pays for the extension — so Next is a few
+// flops and construction no longer dominates short phases at million-key
+// scale.
 type Zipfian struct {
 	n     uint64
 	theta float64
@@ -93,12 +100,60 @@ func NewZipfian(n uint64, theta float64) *Zipfian {
 	}
 }
 
-// zeta is the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// zetaCheckpoint is one memoized partial sum: the generalized harmonic
+// number up to n for one theta.
+type zetaCheckpoint struct {
+	n   uint64
+	sum float64
+}
+
+// zetaCache memoizes zeta by theta. Each theta keeps its checkpoints
+// sorted by n, so a request extends incrementally from the largest
+// checkpoint at or below it instead of resumming from 1 — without the
+// cache every NewZipfian pays an O(n) sum, which at million-key
+// scenarios dominates short phases (and the harness constructs a fresh
+// Zipfian per experiment cell).
+var zetaCache = struct {
+	sync.Mutex
+	byTheta map[float64][]zetaCheckpoint
+}{byTheta: map[float64][]zetaCheckpoint{}}
+
+// zeta is the generalized harmonic number sum_{i=1..n} 1/i^theta,
+// memoized by (n, theta). The O(n) extension runs outside the cache
+// lock, so concurrent cold constructions (the harness runs experiment
+// cells in parallel) don't serialize on one mutex; whichever racer
+// inserts a value for n first wins, and all racers agree bit-for-bit
+// because the sum is always accumulated in ascending-k order however
+// it is split across checkpoints.
 func zeta(n uint64, theta float64) float64 {
-	sum := 0.0
-	for i := uint64(1); i <= n; i++ {
-		sum += 1 / math.Pow(float64(i), theta)
+	zetaCache.Lock()
+	cps := zetaCache.byTheta[theta]
+	// Largest checkpoint with cp.n <= n, if any.
+	i := sort.Search(len(cps), func(i int) bool { return cps[i].n > n }) - 1
+	start, sum := uint64(0), 0.0
+	if i >= 0 {
+		if cps[i].n == n {
+			hit := cps[i].sum
+			zetaCache.Unlock()
+			return hit
+		}
+		start, sum = cps[i].n, cps[i].sum
 	}
+	zetaCache.Unlock()
+	for k := start + 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), theta)
+	}
+	zetaCache.Lock()
+	defer zetaCache.Unlock()
+	cps = zetaCache.byTheta[theta]
+	pos := sort.Search(len(cps), func(j int) bool { return cps[j].n >= n })
+	if pos < len(cps) && cps[pos].n == n {
+		return cps[pos].sum // a racer inserted the same value meanwhile
+	}
+	cps = append(cps, zetaCheckpoint{})
+	copy(cps[pos+1:], cps[pos:])
+	cps[pos] = zetaCheckpoint{n: n, sum: sum}
+	zetaCache.byTheta[theta] = cps
 	return sum
 }
 

@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"fmt"
+	"math"
+	"sync"
 	"testing"
 
 	"ssync/internal/xrand"
@@ -88,6 +91,138 @@ func TestZipfianSharedAcrossGoroutinesDrawsFromFullRange(t *testing.T) {
 	}
 	if len(seen) < 32 {
 		t.Fatalf("only %d distinct keys of 64 drawn", len(seen))
+	}
+}
+
+// TestUniformChiSquare is the statistical guard on the unbiased-draw
+// bugfix: a chi-square goodness-of-fit over a key space that does not
+// divide 2^64. With df = n-1 = 999 the statistic has mean 999 and
+// standard deviation ~44.7; the bound sits five sigmas out, so the test
+// is deterministic under the fixed seed yet tight enough to flag a
+// broken draw.
+func TestUniformChiSquare(t *testing.T) {
+	const n, draws = 1000, 200000
+	d := NewUniform(n)
+	rng := xrand.New(0xC0FFEE)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[d.Next(rng)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		diff := float64(c) - expected
+		chi2 += diff * diff / expected
+	}
+	if bound := 999.0 + 5*44.7; chi2 > bound {
+		t.Fatalf("chi-square %.1f over %d cells exceeds %.1f: uniform draw is biased", chi2, n, bound)
+	}
+}
+
+// TestUniformUnbiasedHugeKeySpace pins the modulo-bias regression where
+// it is actually visible: for n = 3·2^62 the old Uint64()%n draw gave
+// every key below 2^64-n two preimages, so the first third of the key
+// space absorbed HALF the draws. The unbiased draw keeps it at a third.
+func TestUniformUnbiasedHugeKeySpace(t *testing.T) {
+	const n = uint64(3) << 62
+	const draws = 60000
+	d := NewUniform(n)
+	rng := xrand.New(99)
+	low := 0
+	for i := 0; i < draws; i++ {
+		if d.Next(rng) < n/3 {
+			low++
+		}
+	}
+	frac := float64(low) / draws
+	if frac < 0.30 || frac > 0.37 {
+		t.Fatalf("first third of the key space drew %.3f of the traffic, want ~1/3 (0.5 = modulo bias)", frac)
+	}
+}
+
+// TestZipfianHotKeyMass bounds the head of the distribution both ways:
+// rank 0 must carry roughly its analytic share 1/zeta(n, theta) — not
+// less (skew missing) and not wildly more (skew distorted, e.g. by a
+// biased underlying draw).
+func TestZipfianHotKeyMass(t *testing.T) {
+	const n, draws = 1024, 100000
+	d := NewZipfian(n, 0) // theta 0.99
+	rng := xrand.New(0xBEEF)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[d.Next(rng)]++
+	}
+	// 1/zeta(1024, 0.99) ≈ 0.134; allow generous sampling slack.
+	rank0 := float64(counts[0]) / draws
+	if rank0 < 0.08 || rank0 > 0.20 {
+		t.Fatalf("rank-0 mass %.3f outside [0.08, 0.20]", rank0)
+	}
+	top10 := 0
+	for k := 0; k < 10; k++ {
+		top10 += counts[k]
+	}
+	if mass := float64(top10) / draws; mass < 0.25 || mass > 0.55 {
+		t.Fatalf("top-10 mass %.3f outside [0.25, 0.55]", mass)
+	}
+}
+
+// TestZetaMemoized: the cache returns exactly the scratch sum — a cache
+// hit, an incremental extension from a smaller checkpoint, and a
+// request below an existing checkpoint all agree bit-for-bit with the
+// direct computation (the extension adds terms in the same 1..n order).
+func TestZetaMemoized(t *testing.T) {
+	scratch := func(n uint64, theta float64) float64 {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	const theta = 0.77 // not used by other tests: a cold cache slot
+	for _, n := range []uint64{900, 900, 2500, 400, 2500, 1300} {
+		if got, want := zeta(n, theta), scratch(n, theta); got != want {
+			t.Fatalf("zeta(%d, %v) = %v, want %v", n, theta, got, want)
+		}
+	}
+	// Zipfians built from the cache behave identically to each other.
+	a, b := NewZipfian(5000, theta), NewZipfian(5000, theta)
+	r1, r2 := xrand.New(5), xrand.New(5)
+	for i := 0; i < 2000; i++ {
+		if x, y := a.Next(r1), b.Next(r2); x != y {
+			t.Fatalf("draw %d diverged after memoized construction: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZetaConcurrent races cold constructions over one theta: the
+// extension runs outside the cache lock, and every racer must still
+// agree bit-for-bit with the scratch sum. Run with -race; CI does.
+func TestZetaConcurrent(t *testing.T) {
+	const theta = 0.63 // another cold cache slot
+	sizes := []uint64{300, 1200, 700, 2000, 1200, 300, 1700, 900}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sizes)*4)
+	for g := 0; g < len(errs); g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := sizes[g%len(sizes)]
+			got := zeta(n, theta)
+			want := 0.0
+			for i := uint64(1); i <= n; i++ {
+				want += 1 / math.Pow(float64(i), theta)
+			}
+			if got != want {
+				errs[g] = fmt.Errorf("zeta(%d) = %v under concurrency, want %v", n, got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -310,13 +310,13 @@ func runPhase(s Scenario, phaseIdx int, ph Phase, dial func(int) (Conn, error)) 
 // batch and pipeline settings.
 func drawOp(s Scenario, rng *xrand.Rand, value []byte) Op {
 	key := Key(s.Dist.Next(rng))
-	switch draw := int(rng.Uint64() % 100); {
+	switch draw := int(rng.Uint64n(100)); {
 	case draw < s.Mix.Get:
 		return Op{Kind: KindGet, Key: key}
 	case draw < s.Mix.Get+s.Mix.Put:
 		// One write in eight deletes, so write-heavy mixes exercise
 		// removal and the store's population reaches a fixpoint.
-		if rng.Uint64()%8 == 0 {
+		if rng.Uint64n(8) == 0 {
 			return Op{Kind: KindDelete, Key: key}
 		}
 		return Op{Kind: KindPut, Key: key, Value: value}

@@ -7,6 +7,8 @@
 // and costs a handful of instructions.
 package xrand
 
+import "math/bits"
+
 // Rand is a deterministic xorshift64* generator.
 type Rand struct {
 	state uint64
@@ -31,12 +33,39 @@ func (r *Rand) Uint64() uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
-// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+// Uint64n returns a pseudo-random uint64 in [0, n), unbiased. It panics
+// if n == 0.
+//
+// The naive Uint64()%n draw over-represents the low residues whenever n
+// does not divide 2^64 (the first 2^64 mod n values get one extra
+// preimage each), which systematically skews low key ranks for arbitrary
+// key-space sizes. This is Lemire's multiply-shift rejection ("Fast
+// Random Integer Generation in an Interval"): map the 64-bit draw onto
+// [0, n) with a 128-bit multiply and reject only draws landing in the
+// short biased fringe, so every value keeps exactly the same number of
+// preimages. The common case costs one extra multiply; rejection
+// probability is n/2^64, negligible for any realistic key space.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n, the biased-fringe width
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a pseudo-random int in [0, n), unbiased. It panics if
+// n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
 // Float64 returns a pseudo-random float64 in [0, 1).

@@ -65,6 +65,46 @@ func TestIntnRoughlyUniform(t *testing.T) {
 	}
 }
 
+func TestUint64nRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 97, 1 << 32, (1 << 63) + 12345, ^uint64(0)} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) must panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+// TestUint64nUnbiased pins the rejection sampling where modulo bias is
+// visible: for n = 3·2^62 the modulo draw would land HALF the samples
+// in the first third of the range (values below 2^64-n get two
+// preimages); the Lemire draw keeps it at a third.
+func TestUint64nUnbiased(t *testing.T) {
+	const n = uint64(3) << 62
+	const draws = 60000
+	r := New(1234)
+	low := 0
+	for i := 0; i < draws; i++ {
+		if r.Uint64n(n) < n/3 {
+			low++
+		}
+	}
+	frac := float64(low) / draws
+	if frac < 0.30 || frac > 0.37 {
+		t.Fatalf("low third drew %.3f of samples, want ~1/3 (0.5 = modulo bias)", frac)
+	}
+}
+
 // Property: Perm returns a permutation of [0,n).
 func TestPermIsPermutation(t *testing.T) {
 	f := func(seed uint64, n uint8) bool {
