@@ -38,6 +38,8 @@ func ClusterMain(argv []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 0, "workload RNG seed (0 = fixed default)")
 	batch := fs.Int("batch", 4, "ops per routed op group (1 = scalar ops)")
 	pipeline := fs.Int("pipeline", 8, "op groups each client keeps in flight (1 = lock-step)")
+	resize := fs.Bool("resize", false, "measure a live resize (grow then shrink) under load instead of the throughput scenario")
+	window := fs.Duration("window", 300*time.Millisecond, "with -resize: steady and post-resize measurement window")
 	jsonOut := fs.Bool("json", false, "emit JSON")
 	csvOut := fs.Bool("csv", false, "emit CSV")
 	if code, ok := parseArgs(fs, argv); !ok {
@@ -92,6 +94,53 @@ func ClusterMain(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *pipeline < 1 {
 		*pipeline = 1
+	}
+
+	// -resize: instead of the throughput scenario, measure a live
+	// membership change — grow by one node, then retire an original
+	// member — under continuous client load, and report what the
+	// migration cost: steady vs dip throughput, recovery time, and the
+	// blocking duration of the membership calls themselves.
+	if *resize {
+		experiment := fmt.Sprintf("migrate/%dx%s", *nodes, eng)
+		res, err := harness.MigrateBench(harness.MigrateBenchConfig{
+			Nodes:     *nodes,
+			Vnodes:    *vnodes,
+			Engine:    eng,
+			Lock:      algorithm,
+			Shards:    *shards,
+			Clients:   *clients,
+			Keys:      *keys,
+			Preload:   *preload,
+			ValueSize: *valueSize,
+			Steady:    *window,
+			Remove:    *nodes > 1,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync cluster:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "resize %d→%d nodes (%s engine): moved %d of %d keys, add %.1fms",
+			*nodes, *nodes+1, eng, res.Moved, *keys, res.AddMs)
+		if *nodes > 1 {
+			fmt.Fprintf(stderr, ", remove %.1fms", res.RemoveMs)
+		}
+		fmt.Fprintln(stderr)
+		results := []harness.Result{
+			oneResult(experiment, *clients, "steady Kops/s", res.SteadyKops),
+			oneResult(experiment, *clients, "dip Kops/s", res.DipKops),
+			oneResult(experiment, *clients, "dip %", res.DipPct),
+			oneResult(experiment, *clients, "recovery ms", res.RecoveryMs),
+			oneResult(experiment, *clients, "add ms", res.AddMs),
+		}
+		if *nodes > 1 {
+			results = append(results, oneResult(experiment, *clients, "remove ms", res.RemoveMs))
+		}
+		if err := emitter.Emit(stdout, results); err != nil {
+			fmt.Fprintln(stderr, "ssync cluster:", err)
+			return 1
+		}
+		return 0
 	}
 
 	experiment := fmt.Sprintf("cluster/%dx%s", *nodes, eng)

@@ -74,6 +74,43 @@ func TestClusterSingleNode(t *testing.T) {
 	}
 }
 
+// TestClusterResize: `ssync cluster -resize` measures a live grow+shrink
+// under load and emits the migration metrics under the migrate/<n>x<eng>
+// experiment id.
+func TestClusterResize(t *testing.T) {
+	out, errOut, code := runMain(t,
+		"cluster", "-resize", "-nodes", "2", "-engine", "actor", "-clients", "2",
+		"-keys", "512", "-window", "80ms", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var results []result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	metrics := map[string]float64{}
+	for _, r := range results {
+		if r.Experiment != "migrate/2xactor" || r.Platform != "native" || r.Threads != 2 {
+			t.Fatalf("unexpected result %+v", r)
+		}
+		metrics[r.Metric] = r.Stats.Mean
+	}
+	for _, want := range []string{"steady Kops/s", "dip Kops/s", "add ms", "remove ms"} {
+		if metrics[want] <= 0 {
+			t.Fatalf("missing or zero metric %q in %v", want, metrics)
+		}
+	}
+	// dip % and recovery ms may legitimately be zero, but must be present.
+	for _, want := range []string{"dip %", "recovery ms"} {
+		if _, ok := metrics[want]; !ok {
+			t.Fatalf("missing metric %q in %v", want, metrics)
+		}
+	}
+	if !strings.Contains(errOut, "resize 2→3 nodes") {
+		t.Fatalf("stderr missing the resize summary: %s", errOut)
+	}
+}
+
 func TestClusterErrors(t *testing.T) {
 	if _, _, code := runMain(t, "cluster", "-engine", "bogus"); code != 2 {
 		t.Error("unknown engine must exit 2")

@@ -5,54 +5,87 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ssync/internal/store"
 	"ssync/internal/workload"
 )
 
+// topology is one immutable routing view: a ring and the connections to
+// its members, indexed by node id (nil where the id is not a member).
+// A resize installs a new topology; every operation loads the pointer
+// exactly once, so a single op never mixes two views.
+type topology struct {
+	ring  *Ring
+	conns []*store.AsyncClient
+}
+
 // Client is the routing client of a cluster: one multiplexed
-// store.AsyncClient per node, with every key routed to its ring owner.
-// Point ops go to exactly one node; scans and the batch surfaces split
-// per node, dispatch the per-node sub-batches concurrently through each
-// connection's in-flight window, and reassemble the responses in the
-// caller's order. Like every other connection kind in the repository, a
-// Client is driven by one goroutine at a time (the per-node windows
-// below it do the overlapping).
+// store.AsyncClient per member, with every key routed to its ring
+// owner. Point ops go to exactly one node; scans and the batch surfaces
+// split per node, dispatch the per-node sub-batches concurrently
+// through each connection's in-flight window, and reassemble the
+// responses in the caller's order. Like every other connection kind in
+// the repository, a Client is driven by one goroutine at a time (the
+// per-node windows below it do the overlapping).
+//
+// A Client obtained from Cluster.Dial follows resizes: when a migration
+// commits, the cluster swings the client onto the new ring. Ops in
+// flight under the old view still land — the ex-owner's filter forwards
+// them — so a resize costs stale ops one extra hop, never an error.
 //
 // Client implements store.BatchConn, so it drops into every call site a
 // store connection fits — including workload scenarios via store.Driver,
 // where its Issue implementation (store.Issuer) keeps routed op groups
 // truly pipelined instead of blocking at issue time.
 type Client struct {
-	ring  *Ring
-	conns []*store.AsyncClient
+	cluster *Cluster // nil for a hand-built NewClient
+	window  int
+	topo    atomic.Pointer[topology]
 }
 
-// NewClient wraps one async connection per ring node. It errors when
-// the connection count does not match the ring.
+// NewClient wraps async connections over a fixed ring: conns is indexed
+// by node id and must cover every member. Clients built this way do not
+// follow resizes; Cluster.Dial is the elastic path.
 func NewClient(ring *Ring, conns []*store.AsyncClient) (*Client, error) {
-	if len(conns) != ring.Nodes() {
-		return nil, fmt.Errorf("cluster: %d connections for a %d-node ring", len(conns), ring.Nodes())
+	if len(conns) < ring.MaxID()+1 {
+		return nil, fmt.Errorf("cluster: %d connections for a ring with max node id %d", len(conns), ring.MaxID())
 	}
-	return &Client{ring: ring, conns: conns}, nil
+	for _, id := range ring.Members() {
+		if conns[id] == nil {
+			return nil, fmt.Errorf("cluster: no connection for member %d", id)
+		}
+	}
+	c := &Client{}
+	c.topo.Store(&topology{ring: ring, conns: conns})
+	return c, nil
 }
 
-// Ring returns the routing ring.
-func (c *Client) Ring() *Ring { return c.ring }
+// Ring returns the client's current routing ring.
+func (c *Client) Ring() *Ring { return c.topo.Load().ring }
 
-// Nodes returns the node count.
-func (c *Client) Nodes() int { return len(c.conns) }
+// Nodes returns the current member count.
+func (c *Client) Nodes() int { return c.topo.Load().ring.Nodes() }
 
-// Node returns the async connection to node i.
-func (c *Client) Node(i int) *store.AsyncClient { return c.conns[i] }
+// Node returns the async connection to node i (nil for a non-member the
+// client never dialed).
+func (c *Client) Node(i int) *store.AsyncClient { return c.topo.Load().conns[i] }
 
-// Owner returns the node that owns key.
-func (c *Client) Owner(key string) int { return c.ring.Owner(key) }
+// Owner returns the node that owns key in the client's current view.
+func (c *Client) Owner(key string) int { return c.topo.Load().ring.Owner(key) }
 
 // Close closes every node connection; every error is reported joined.
 func (c *Client) Close() error {
+	if c.cluster != nil {
+		// Deregister first: after forget returns no resize will install
+		// fresh connections on this client.
+		c.cluster.forget(c)
+	}
 	var errs []error
-	for _, conn := range c.conns {
+	for _, conn := range c.topo.Load().conns {
+		if conn == nil {
+			continue
+		}
 		if err := conn.Close(); err != nil {
 			errs = append(errs, err)
 		}
@@ -62,40 +95,47 @@ func (c *Client) Close() error {
 
 // GetAsync submits a routed get to the key's owner.
 func (c *Client) GetAsync(key string) *store.Future {
-	return c.conns[c.ring.Owner(key)].GetAsync(key)
+	t := c.topo.Load()
+	return t.conns[t.ring.Owner(key)].GetAsync(key)
 }
 
 // PutAsync submits a routed put to the key's owner.
 func (c *Client) PutAsync(key string, value []byte) *store.Future {
-	return c.conns[c.ring.Owner(key)].PutAsync(key, value)
+	t := c.topo.Load()
+	return t.conns[t.ring.Owner(key)].PutAsync(key, value)
 }
 
 // DeleteAsync submits a routed delete to the key's owner.
 func (c *Client) DeleteAsync(key string) *store.Future {
-	return c.conns[c.ring.Owner(key)].DeleteAsync(key)
+	t := c.topo.Load()
+	return t.conns[t.ring.Owner(key)].DeleteAsync(key)
 }
 
 // Get fetches the value under key from its owner.
 func (c *Client) Get(key string) ([]byte, bool, error) {
-	return c.conns[c.ring.Owner(key)].Get(key)
+	t := c.topo.Load()
+	return t.conns[t.ring.Owner(key)].Get(key)
 }
 
 // Put stores value under key on its owner; it reports whether the key
 // was newly inserted.
 func (c *Client) Put(key string, value []byte) (bool, error) {
-	return c.conns[c.ring.Owner(key)].Put(key, value)
+	t := c.topo.Load()
+	return t.conns[t.ring.Owner(key)].Put(key, value)
 }
 
 // Delete removes key from its owner; it reports whether the key was
 // present.
 func (c *Client) Delete(key string) (bool, error) {
-	return c.conns[c.ring.Owner(key)].Delete(key)
+	t := c.topo.Load()
+	return t.conns[t.ring.Owner(key)].Delete(key)
 }
 
-// Scan fans the prefix scan out to every node concurrently, merges the
-// per-node results (each already sorted) and trims to limit — the same
-// union-of-snapshots contract a single store's cross-shard scan has,
-// one level up. It is the one-request case of ExecBatch's scan path.
+// Scan fans the prefix scan out to every member concurrently, merges
+// the per-node results (each already sorted) and trims to limit — the
+// same union-of-snapshots contract a single store's cross-shard scan
+// has, one level up. It is the one-request case of ExecBatch's scan
+// path.
 func (c *Client) Scan(prefix string, limit int) ([]store.Entry, error) {
 	if limit < 0 {
 		limit = 0
@@ -109,12 +149,12 @@ func (c *Client) Scan(prefix string, limit int) ([]store.Entry, error) {
 
 // routeGroups buckets request indices by owner node; scans (which have
 // no single owner) are returned separately.
-func (c *Client) routeGroups(reqs []store.Request, resps []store.Response) (groups [][]int, scans []int) {
-	groups = make([][]int, len(c.conns))
+func (t *topology) routeGroups(reqs []store.Request, resps []store.Response) (groups [][]int, scans []int) {
+	groups = make([][]int, len(t.conns))
 	for i, r := range reqs {
 		switch r.Op {
 		case store.OpGet, store.OpPut, store.OpDelete:
-			n := c.ring.Owner(r.Key)
+			n := t.ring.Owner(r.Key)
 			groups[n] = append(groups[n], i)
 		case store.OpScan:
 			scans = append(scans, i)
@@ -138,24 +178,51 @@ func subRequests(reqs []store.Request, idxs []int) []store.Request {
 
 // splitByOwner buckets item indices 0..n-1 by the ring owner of
 // key(i) — the one routing loop MGet and MPut share.
-func (c *Client) splitByOwner(n int, key func(i int) string) [][]int {
-	groups := make([][]int, len(c.conns))
+func (t *topology) splitByOwner(n int, key func(i int) string) [][]int {
+	groups := make([][]int, len(t.conns))
 	for i := 0; i < n; i++ {
-		owner := c.ring.Owner(key(i))
+		owner := t.ring.Owner(key(i))
 		groups[owner] = append(groups[owner], i)
 	}
 	return groups
+}
+
+// mergeScan merges per-node scan results into one sorted, limit-trimmed
+// slice, deduplicating keys: during a resize's copy window a key can
+// transiently exist on both the old and the new owner, and the copy on
+// the node this topology's ring calls the owner wins.
+func (t *topology) mergeScan(nodes []int, perNode [][]store.Entry, limit int) []store.Entry {
+	var entries []store.Entry
+	seen := map[string]int{} // key -> index in entries
+	for j, part := range perNode {
+		for _, e := range part {
+			if at, dup := seen[e.Key]; dup {
+				if t.ring.Owner(e.Key) == nodes[j] {
+					entries[at] = e
+				}
+				continue
+			}
+			seen[e.Key] = len(entries)
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
+	return entries
 }
 
 // ExecBatch splits the batch per owner node, ships each node's sub-batch
 // as one frame, dispatches all of them before waiting on any (they
 // overlap through the per-node windows), and scatters the sub-responses
 // back so resps[i] answers reqs[i]. Scans inside a batch fan out to
-// every node like Scan. Per-node sub-batches inherit the single-frame
+// every member like Scan. Per-node sub-batches inherit the single-frame
 // contract of Client.ExecBatch.
 func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
+	t := c.topo.Load()
 	resps := make([]store.Response, len(reqs))
-	groups, scans := c.routeGroups(reqs, resps)
+	groups, scans := t.routeGroups(reqs, resps)
 	type part struct {
 		idxs []int
 		fut  *store.Future
@@ -165,17 +232,18 @@ func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
 		if len(idxs) == 0 {
 			continue
 		}
-		parts = append(parts, part{idxs: idxs, fut: c.conns[n].BatchAsync(subRequests(reqs, idxs))})
+		parts = append(parts, part{idxs: idxs, fut: t.conns[n].BatchAsync(subRequests(reqs, idxs))})
 	}
+	members := t.ring.Members()
 	type scanPart struct {
 		idx  int
 		futs []*store.Future
 	}
 	scanParts := make([]scanPart, 0, len(scans))
 	for _, i := range scans {
-		sp := scanPart{idx: i, futs: make([]*store.Future, len(c.conns))}
-		for n, conn := range c.conns {
-			sp.futs[n] = conn.ScanAsync(reqs[i].Key, int(reqs[i].Limit))
+		sp := scanPart{idx: i, futs: make([]*store.Future, len(members))}
+		for j, n := range members {
+			sp.futs[j] = t.conns[n].ScanAsync(reqs[i].Key, int(reqs[i].Limit))
 		}
 		scanParts = append(scanParts, sp)
 	}
@@ -193,15 +261,15 @@ func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
 		}
 	}
 	for _, sp := range scanParts {
-		var entries []store.Entry
+		perNode := make([][]store.Entry, len(members))
 		scanErr := error(nil)
-		for _, f := range sp.futs {
+		for j, f := range sp.futs {
 			resp, err := f.Wait()
 			if err != nil {
 				scanErr = err
 				break
 			}
-			entries = append(entries, resp.Entries...)
+			perNode[j] = resp.Entries
 		}
 		if scanErr != nil {
 			if firstErr == nil {
@@ -209,10 +277,7 @@ func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
 			}
 			continue
 		}
-		sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
-		if limit := int(reqs[sp.idx].Limit); limit > 0 && len(entries) > limit {
-			entries = entries[:limit]
-		}
+		entries := t.mergeScan(members, perNode, int(reqs[sp.idx].Limit))
 		resps[sp.idx] = store.Response{Status: store.StatusOK, Entries: entries}
 	}
 	if firstErr != nil {
@@ -225,9 +290,10 @@ func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
 // concurrently (each node's blocking MGet pipelines its own chunks);
 // values[i] is nil when keys[i] is absent.
 func (c *Client) MGet(keys []string) ([][]byte, error) {
+	t := c.topo.Load()
 	vals := make([][]byte, len(keys))
-	groups := c.splitByOwner(len(keys), func(i int) string { return keys[i] })
-	errs := make([]error, len(c.conns))
+	groups := t.splitByOwner(len(keys), func(i int) string { return keys[i] })
+	errs := make([]error, len(t.conns))
 	var wg sync.WaitGroup
 	for n, idxs := range groups {
 		if len(idxs) == 0 {
@@ -241,7 +307,7 @@ func (c *Client) MGet(keys []string) ([][]byte, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			vs, err := c.conns[n].MGet(sub)
+			vs, err := t.conns[n].MGet(sub)
 			if err != nil {
 				errs[n] = err
 				return
@@ -261,9 +327,10 @@ func (c *Client) MGet(keys []string) ([][]byte, error) {
 // MPut splits the entries per owner node and stores the per-node groups
 // concurrently; it reports how many keys were newly inserted.
 func (c *Client) MPut(entries []store.Entry) (int, error) {
-	groups := c.splitByOwner(len(entries), func(i int) string { return entries[i].Key })
-	created := make([]int, len(c.conns))
-	errs := make([]error, len(c.conns))
+	t := c.topo.Load()
+	groups := t.splitByOwner(len(entries), func(i int) string { return entries[i].Key })
+	created := make([]int, len(t.conns))
+	errs := make([]error, len(t.conns))
 	var wg sync.WaitGroup
 	for n, idxs := range groups {
 		if len(idxs) == 0 {
@@ -277,7 +344,7 @@ func (c *Client) MPut(entries []store.Entry) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			created[n], errs[n] = c.conns[n].MPut(sub)
+			created[n], errs[n] = t.conns[n].MPut(sub)
 		}()
 	}
 	wg.Wait()
@@ -301,38 +368,42 @@ var (
 // groups in flight — the same overlap the single-node async client
 // gives, across nodes.
 func (c *Client) Issue(ops []workload.Op) workload.Pending {
+	t := c.topo.Load()
 	if len(ops) == 1 && ops[0].Kind != workload.KindScan {
-		return &routedScalarPending{op: ops[0], fut: c.submitScalar(ops[0])}
+		return &routedScalarPending{op: ops[0], fut: submitRouted(t, ops[0])}
 	}
 	reqs := store.ToRequests(ops)
-	groups, scans := c.routeGroups(reqs, nil)
-	p := &routedPending{c: c}
+	groups, scans := t.routeGroups(reqs, nil)
+	p := &routedPending{t: t}
 	for n, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
 		sub := subRequests(reqs, idxs)
-		p.parts = append(p.parts, routedPart{node: n, reqs: sub, fut: c.conns[n].BatchAsync(sub)})
+		p.parts = append(p.parts, routedPart{node: n, reqs: sub, fut: t.conns[n].BatchAsync(sub)})
 	}
+	members := t.ring.Members()
 	for _, i := range scans {
-		sp := routedScan{limit: int(reqs[i].Limit), futs: make([]*store.Future, len(c.conns))}
-		for n, conn := range c.conns {
-			sp.futs[n] = conn.ScanAsync(reqs[i].Key, sp.limit)
+		sp := routedScan{limit: int(reqs[i].Limit), futs: make([]*store.Future, len(members))}
+		for j, n := range members {
+			sp.futs[j] = t.conns[n].ScanAsync(reqs[i].Key, sp.limit)
 		}
 		p.scans = append(p.scans, sp)
 	}
 	return p
 }
 
-// submitScalar routes one point op to its owner's async surface.
-func (c *Client) submitScalar(op workload.Op) *store.Future {
+// submitRouted routes one point op to its owner's async surface within
+// a single topology view.
+func submitRouted(t *topology, op workload.Op) *store.Future {
+	conn := t.conns[t.ring.Owner(op.Key)]
 	switch op.Kind {
 	case workload.KindGet:
-		return c.GetAsync(op.Key)
+		return conn.GetAsync(op.Key)
 	case workload.KindPut:
-		return c.PutAsync(op.Key, op.Value)
+		return conn.PutAsync(op.Key, op.Value)
 	default:
-		return c.DeleteAsync(op.Key)
+		return conn.DeleteAsync(op.Key)
 	}
 }
 
@@ -370,16 +441,18 @@ type routedPart struct {
 	fut  *store.Future
 }
 
-// routedScan is one scan op's all-node fan-out.
+// routedScan is one scan op's all-member fan-out.
 type routedScan struct {
 	limit int
 	futs  []*store.Future
 }
 
 // routedPending reassembles an issued group: per-node batch outcomes
-// plus merged scan counts.
+// plus merged scan counts. It pins the topology the group was issued
+// under, so outcomes resolve against the connections the ops actually
+// went to even if a resize lands mid-flight.
 type routedPending struct {
-	c     *Client
+	t     *topology
 	parts []routedPart
 	scans []routedScan
 }
@@ -395,7 +468,7 @@ func (p *routedPending) Wait() (workload.Outcome, error) {
 			}
 			continue
 		}
-		out, err := store.BatchOutcome(p.c.conns[part.node], part.reqs, resps)
+		out, err := store.BatchOutcome(p.t.conns[part.node], part.reqs, resps)
 		total.Add(out)
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -419,7 +492,9 @@ func (p *routedPending) Wait() (workload.Outcome, error) {
 			continue
 		}
 		// The merged-and-trimmed entry count, without materializing the
-		// merge: min(sum, limit) is exactly what Scan would return.
+		// merge: min(sum, limit) is what Scan would return (a resize's
+		// copy window can transiently double-count a moving key here —
+		// a stats path, not a correctness one).
 		if sp.limit > 0 && count > sp.limit {
 			count = sp.limit
 		}

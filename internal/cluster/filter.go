@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"sync"
+
+	"ssync/internal/store"
+)
+
+// forwardWindow is the in-flight window of each node-to-node
+// forwarding connection.
+const forwardWindow = 16
+
+// nodeFilter is one node's store.Router: the per-op decision point that
+// keeps the single-owner discipline across a resize. Every point op the
+// node's server receives passes through here; the filter checks the
+// shared ring and either executes locally (recording writes that land
+// in a migrating arc) or forwards the op to the node that owns the key
+// now. Forwarding is what lets clients keep operating on a stale ring:
+// an op routed to an ex-owner takes one extra hop instead of failing.
+type nodeFilter struct {
+	c *Cluster
+	n *node
+
+	// mu is the migration filter lock. Every locally executing op holds
+	// it shared; a migration's commit step holds it exclusively. Taking
+	// the write lock therefore drains every in-flight local execution,
+	// and because the ring is loaded under this lock, no op can execute
+	// here under the old ring after the commit flips it — the property
+	// the linearizability-across-migration test leans on.
+	mu  sync.RWMutex
+	mig *migTracker // non-nil while this node is a migration source
+
+	connMu sync.Mutex
+	conns  map[int]*store.AsyncClient // forwarding mesh, dialed lazily
+}
+
+func newNodeFilter(c *Cluster, n *node) *nodeFilter {
+	return &nodeFilter{c: c, n: n, conns: map[int]*store.AsyncClient{}}
+}
+
+// migTracker records keys written in a migrating range while the bulk
+// copy streams underneath — the dirty set whose re-ship at commit turns
+// the copy's point-in-time snapshot into an exact one. Writes outside
+// the moving arcs are not tracked; they are not moving.
+type migTracker struct {
+	arcs  []store.Arc
+	mu    sync.Mutex // recorders run concurrently under the filter's RLock
+	dirty map[string]struct{}
+}
+
+func (t *migTracker) record(op byte, key string) {
+	if op != store.OpPut && op != store.OpDelete {
+		return
+	}
+	if !store.ArcsContain(t.arcs, store.KeyPos(key)) {
+		return
+	}
+	t.mu.Lock()
+	t.dirty[key] = struct{}{}
+	t.mu.Unlock()
+}
+
+// Route implements store.Router for one point op.
+func (f *nodeFilter) Route(h *store.Handle, req store.Request, hops int) store.Response {
+	f.mu.RLock()
+	// The ring must be loaded under the lock: the commit step flips it
+	// while holding mu exclusively, so an op that sees the old ring has
+	// executed (and been dirty-tracked) before the flip, and an op that
+	// sees the new one executes after the delta shipped.
+	owner := f.c.ring.Load().Owner(req.Key)
+	if owner == f.n.id {
+		resp := h.Exec(req)
+		if f.mig != nil {
+			f.mig.record(req.Op, req.Key)
+		}
+		f.mu.RUnlock()
+		return resp
+	}
+	f.mu.RUnlock()
+	// Never forward while holding mu: a commit locking several source
+	// filters would deadlock against ops forwarding between them. The
+	// owner was decided under the lock; if the ring flips before the
+	// forward lands, the receiving filter re-checks and takes one more
+	// hop — bounded by the cap below, since there is at most one
+	// migration in flight.
+	if hops >= store.MaxForwardHops {
+		return store.Response{Status: store.StatusError, Msg: store.ErrHopLimit.Error()}
+	}
+	return f.forward(owner, req, hops+1)
+}
+
+// RouteBatch implements store.Router for a batch's sub-ops: the local
+// subset executes as one engine visit under the filter lock, the rest
+// forward individually (submitted together, awaited together) after it
+// is released.
+func (f *nodeFilter) RouteBatch(h *store.Handle, reqs []store.Request) []store.Response {
+	resps := make([]store.Response, len(reqs))
+	owners := make([]int, len(reqs))
+	var local, remote []int
+	f.mu.RLock()
+	ring := f.c.ring.Load()
+	for i, r := range reqs {
+		switch r.Op {
+		case store.OpGet, store.OpPut, store.OpDelete:
+			owners[i] = ring.Owner(r.Key)
+			if owners[i] == f.n.id {
+				local = append(local, i)
+			} else {
+				remote = append(remote, i)
+			}
+		case store.OpScan:
+			local = append(local, i) // scans always read the local store
+		default:
+			resps[i] = store.Response{Status: store.StatusError, Msg: store.ErrBadOp.Error()}
+		}
+	}
+	if len(local) > 0 {
+		sub := reqs
+		if len(local) != len(reqs) {
+			sub = subRequests(reqs, local)
+		}
+		for j, resp := range h.ExecBatch(sub) {
+			resps[local[j]] = resp
+		}
+		if f.mig != nil {
+			for _, i := range local {
+				f.mig.record(reqs[i].Op, reqs[i].Key)
+			}
+		}
+	}
+	f.mu.RUnlock()
+	if len(remote) > 0 {
+		futs := make([]*store.Future, len(remote))
+		for j, i := range remote {
+			futs[j] = f.meshConn(owners[i]).ForwardAsync(reqs[i], 1)
+		}
+		for j, i := range remote {
+			resp, err := futs[j].Wait()
+			if err != nil {
+				resp = store.Response{Status: store.StatusError, Msg: err.Error()}
+			}
+			resps[i] = resp
+		}
+	}
+	return resps
+}
+
+// forward ships req to node to and blocks for the response.
+func (f *nodeFilter) forward(to int, req store.Request, hops int) store.Response {
+	resp, err := f.meshConn(to).ForwardAsync(req, hops).Wait()
+	if err != nil {
+		return store.Response{Status: store.StatusError, Msg: err.Error()}
+	}
+	return resp
+}
+
+// meshConn returns (dialing on first use) the forwarding connection to
+// node to. The mesh is lazy because most pairs never forward: only a
+// resize window and post-resize stale clients create traffic here.
+func (f *nodeFilter) meshConn(to int) *store.AsyncClient {
+	f.connMu.Lock()
+	defer f.connMu.Unlock()
+	if conn := f.conns[to]; conn != nil {
+		return conn
+	}
+	conn := f.c.node(to).server.PipeAsyncClient(forwardWindow)
+	f.conns[to] = conn
+	return conn
+}
+
+// closeConns closes the forwarding mesh (cluster shutdown).
+func (f *nodeFilter) closeConns() {
+	f.connMu.Lock()
+	defer f.connMu.Unlock()
+	for to, conn := range f.conns {
+		_ = conn.Close()
+		delete(f.conns, to)
+	}
+}
+
+var _ store.Router = (*nodeFilter)(nil)

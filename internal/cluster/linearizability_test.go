@@ -72,8 +72,10 @@ func newClusterHistories(nKeys int) []*linearize.History {
 }
 
 // runRoutedLinearClient drives ops operations over the routing client's
-// blocking surface (lock-step), recording per-key histories.
-func runRoutedLinearClient(t *testing.T, cl *Client, client, nKeys, ops int, hists []*linearize.History) {
+// blocking surface (lock-step), recording per-key histories. tick (may
+// be nil) runs after every completed op — the hook the
+// across-migration test uses to pace resizes against traffic.
+func runRoutedLinearClient(t *testing.T, cl *Client, client, nKeys, ops int, hists []*linearize.History, tick func()) {
 	rng := xrand.New(uint64(client)*0x9E3779B97F4A7C15 + 23)
 	seq := uint64(0)
 	for i := 0; i < ops; i++ {
@@ -115,6 +117,9 @@ func runRoutedLinearClient(t *testing.T, cl *Client, client, nKeys, ops int, his
 			op.Found = existed
 		}
 		h.Add(op)
+		if tick != nil {
+			tick()
+		}
 	}
 }
 
@@ -122,7 +127,7 @@ func runRoutedLinearClient(t *testing.T, cl *Client, client, nKeys, ops int, his
 // client's async surface with a real in-flight window: invocation is
 // stamped at submission, response at Wait — the interval in which the
 // routed op took effect on its owner node.
-func runRoutedAsyncLinearClient(t *testing.T, cl *Client, client, nKeys, ops, depth int, hists []*linearize.History) {
+func runRoutedAsyncLinearClient(t *testing.T, cl *Client, client, nKeys, ops, depth int, hists []*linearize.History, tick func()) {
 	type pendingOp struct {
 		op  linearize.Op
 		k   int
@@ -151,6 +156,9 @@ func runRoutedAsyncLinearClient(t *testing.T, cl *Client, client, nKeys, ops, de
 			p.op.Found = resp.Status == store.StatusOK
 		}
 		h.Add(p.op)
+		if tick != nil {
+			tick()
+		}
 		return true
 	}
 	for i := 0; i < ops; i++ {
@@ -224,11 +232,11 @@ func TestClusterLinearizable(t *testing.T) {
 						case "lockstep":
 							cl := c.Dial(1)
 							defer cl.Close()
-							runRoutedLinearClient(t, cl, cli, nKeys, ops, hists)
+							runRoutedLinearClient(t, cl, cli, nKeys, ops, hists, nil)
 						case "async":
 							cl := c.Dial(depth)
 							defer cl.Close()
-							runRoutedAsyncLinearClient(t, cl, cli, nKeys, ops, depth, hists)
+							runRoutedAsyncLinearClient(t, cl, cli, nKeys, ops, depth, hists, nil)
 						}
 					}()
 				}

@@ -13,6 +13,14 @@
 // is preserved by construction across the cluster. Contrast optimistic
 // replication (CRDTs, eventual convergence), which buys availability by
 // giving up exactly this property.
+//
+// Membership is elastic: Cluster.AddNode and Cluster.RemoveNode resize
+// the ring while traffic keeps flowing, streaming exactly the affected
+// arcs to their new owners (see migrate.go). The single-owner
+// discipline holds through a resize — during the copy window writes in
+// a moving arc are dirty-tracked at the old owner, and the commit step
+// quiesces the sources before the ring flips, so at every instant each
+// key has one executing owner.
 package cluster
 
 import (
@@ -20,6 +28,7 @@ import (
 	"sort"
 
 	"ssync/internal/hashkit"
+	"ssync/internal/store"
 )
 
 // DefaultVnodes is the virtual-node count per node used when a Ring is
@@ -35,31 +44,58 @@ type point struct {
 	node int
 }
 
-// Ring is a consistent-hash ring over n nodes with virtual points. A
-// key's owner is the node of the first point clockwise of the key's
-// ring position; the mapping depends only on (nodes, vnodes), so two
-// rings built with the same parameters route identically — a client and
-// a test harness never disagree about ownership. Adding a node moves
-// only the keys that land on the new node's points; every other key
-// keeps its owner (the consistent-hashing property the routing-stability
-// test pins down).
+// Ring is a consistent-hash ring over a set of member node ids with
+// virtual points. A key's owner is the member of the first point
+// clockwise of the key's ring position; the mapping depends only on
+// (members, vnodes), so two rings built with the same parameters route
+// identically — a client and a test harness never disagree about
+// ownership. A member's points depend only on its id, so adding a node
+// moves only the keys that land on the new node's points and removing
+// one moves only the keys it held (the consistent-hashing property the
+// routing-stability tests pin down). Rings are immutable; Add and
+// Without derive resized ones.
 type Ring struct {
-	nodes  int
-	vnodes int
-	points []point
+	members []int // sorted ascending, distinct
+	vnodes  int
+	points  []point
 }
 
-// NewRing builds a ring over nodes nodes with vnodes virtual points per
-// node (non-positive means DefaultVnodes).
+// NewRing builds a ring over members 0..nodes-1 with vnodes virtual
+// points per node (non-positive means DefaultVnodes).
 func NewRing(nodes, vnodes int) *Ring {
 	if nodes < 1 {
 		nodes = 1
 	}
+	members := make([]int, nodes)
+	for i := range members {
+		members[i] = i
+	}
+	return NewRingOf(members, vnodes)
+}
+
+// NewRingOf builds a ring over an explicit member-id set — the shape a
+// resized cluster has once removed ids leave holes. Members are
+// deduplicated; an empty set means the single member 0.
+func NewRingOf(members []int, vnodes int) *Ring {
 	if vnodes < 1 {
 		vnodes = DefaultVnodes
 	}
-	r := &Ring{nodes: nodes, vnodes: vnodes, points: make([]point, 0, nodes*vnodes)}
-	for n := 0; n < nodes; n++ {
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	w := 0
+	for i, m := range ms {
+		if i > 0 && m == ms[w-1] {
+			continue
+		}
+		ms[w] = m
+		w++
+	}
+	ms = ms[:w]
+	if len(ms) == 0 {
+		ms = []int{0}
+	}
+	r := &Ring{members: ms, vnodes: vnodes, points: make([]point, 0, len(ms)*vnodes)}
+	for _, n := range ms {
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, point{hash: pointHash(n, v), node: n})
 		}
@@ -82,11 +118,44 @@ func pointHash(node, vnode int) uint64 {
 	return hashkit.Mix64(hashkit.FNV1a(fmt.Sprintf("node-%d#vnode-%d", node, vnode)))
 }
 
-// Nodes returns the node count.
-func (r *Ring) Nodes() int { return r.nodes }
+// Nodes returns the member count.
+func (r *Ring) Nodes() int { return len(r.members) }
+
+// Members returns the member ids, sorted ascending.
+func (r *Ring) Members() []int { return append([]int(nil), r.members...) }
+
+// Has reports whether id is a member.
+func (r *Ring) Has(id int) bool {
+	i := sort.SearchInts(r.members, id)
+	return i < len(r.members) && r.members[i] == id
+}
+
+// MaxID returns the largest member id.
+func (r *Ring) MaxID() int { return r.members[len(r.members)-1] }
 
 // Vnodes returns the virtual-point count per node.
 func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Add derives the ring with id added to the member set.
+func (r *Ring) Add(id int) *Ring {
+	if r.Has(id) {
+		return r
+	}
+	return NewRingOf(append(r.Members(), id), r.vnodes)
+}
+
+// Without derives the ring with id removed from the member set. Because
+// a member's points depend only on its id, removing and re-adding a
+// node restores the exact prior ownership.
+func (r *Ring) Without(id int) *Ring {
+	ms := make([]int, 0, len(r.members))
+	for _, m := range r.members {
+		if m != id {
+			ms = append(ms, m)
+		}
+	}
+	return NewRingOf(ms, r.vnodes)
+}
 
 // Owner returns the node owning key.
 func (r *Ring) Owner(key string) int {
@@ -99,10 +168,77 @@ func (r *Ring) Owner(key string) int {
 // selection (hash % shards) — the same bit-budget discipline
 // hashkit.Bucket applies inside a shard.
 func (r *Ring) OwnerHash(h uint64) int {
-	pos := hashkit.Mix64(h)
+	return r.ownerAt(hashkit.Mix64(h))
+}
+
+// ownerAt returns the member owning ring position pos (already
+// remixed) — the primitive Owner and the arc-diff below share.
+func (r *Ring) ownerAt(pos uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= pos })
 	if i == len(r.points) {
 		i = 0 // wrap: positions past the last point belong to the first
 	}
 	return r.points[i].node
+}
+
+// move is one migration stream of a resize: the arcs node from cedes to
+// node to.
+type move struct {
+	from, to int
+	arcs     []store.Arc
+}
+
+// diffArcs computes the exact set of ring arcs whose owner differs
+// between old and next, grouped into per-(from,to) moves. It walks the
+// sorted union of both rings' point hashes: ownership is constant on
+// the interval between two adjacent boundaries (no point of either ring
+// lies strictly inside), so comparing the two owners once per interval
+// and coalescing adjacent differing intervals yields the minimal arc
+// set — the ranges a resize must stream, and nothing else.
+func diffArcs(old, next *Ring) []move {
+	bounds := make([]uint64, 0, len(old.points)+len(next.points))
+	for _, p := range old.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range next.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	w := 0
+	for i, b := range bounds {
+		if i > 0 && b == bounds[w-1] {
+			continue
+		}
+		bounds[w] = b
+		w++
+	}
+	bounds = bounds[:w]
+	if len(bounds) < 2 {
+		return nil
+	}
+	type pair struct{ from, to int }
+	byPair := map[pair]int{} // pair -> index into moves
+	var moves []move
+	for i, hi := range bounds {
+		lo := bounds[(i+len(bounds)-1)%len(bounds)] // i==0 wraps to the last boundary
+		a, b := old.ownerAt(hi), next.ownerAt(hi)
+		if a == b {
+			continue
+		}
+		k := pair{from: a, to: b}
+		mi, ok := byPair[k]
+		if !ok {
+			mi = len(moves)
+			byPair[k] = mi
+			moves = append(moves, move{from: a, to: b})
+		}
+		arcs := moves[mi].arcs
+		if n := len(arcs); n > 0 && arcs[n-1].Hi == lo {
+			arcs[n-1].Hi = hi // coalesce with the adjacent interval
+		} else {
+			arcs = append(arcs, store.Arc{Lo: lo, Hi: hi})
+		}
+		moves[mi].arcs = arcs
+	}
+	return moves
 }

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
+	"ssync/internal/store"
 	"ssync/internal/workload"
 )
 
@@ -81,5 +83,110 @@ func TestRingDegenerate(t *testing.T) {
 	}
 	if n := r.Owner("anything"); n != 0 {
 		t.Fatalf("single-node ring routed to %d", n)
+	}
+}
+
+// TestRingResizeStability: because a member's points depend only on its
+// id, add-then-remove restores the exact prior ownership for every key;
+// and a resized ring's balance stays within what the vnode count
+// promises, measured with a chi-square statistic over the member
+// shares.
+func TestRingResizeStability(t *testing.T) {
+	const keys = 40000
+	base := NewRing(4, 0) // DefaultVnodes
+	grown := base.Add(4)
+	restored := grown.Without(4)
+	if got, want := fmt.Sprint(restored.Members()), fmt.Sprint(base.Members()); got != want {
+		t.Fatalf("add-then-remove members %s, want %s", got, want)
+	}
+	for i := uint64(0); i < keys; i++ {
+		key := workload.Key(i)
+		if restored.Owner(key) != base.Owner(key) {
+			t.Fatalf("key %q: owner %d after add+remove, was %d — resize is not an involution",
+				key, restored.Owner(key), base.Owner(key))
+		}
+	}
+	// Balance after resizes, including one that leaves an id hole. The
+	// per-member share of a v-vnode ring is a sum of v roughly
+	// exponential arc lengths, so its relative deviation is ~1/sqrt(v)
+	// and the chi-square statistic over m members concentrates around
+	// keys/v — arc-length variance, not multinomial sampling, dominates.
+	// The 4× bound flags a resize that concentrates load (a broken diff
+	// or a member with missing points) while passing every healthy ring.
+	for name, r := range map[string]*Ring{
+		"grown":  grown,
+		"hole":   grown.Without(2),
+		"double": base.Add(4).Add(5).Without(1),
+	} {
+		members := r.Members()
+		idx := map[int]int{}
+		for i, m := range members {
+			idx[m] = i
+		}
+		counts := make([]int, len(members))
+		for i := uint64(0); i < keys; i++ {
+			counts[idx[r.Owner(workload.Key(i))]]++
+		}
+		expected := float64(keys) / float64(len(members))
+		chi2 := 0.0
+		for _, c := range counts {
+			diff := float64(c) - expected
+			chi2 += diff * diff / expected
+		}
+		if bound := 4.0 * keys / float64(r.Vnodes()); chi2 > bound {
+			t.Fatalf("%s ring (members %v): chi-square %.1f exceeds %.1f — resize unbalanced the ring (counts %v)",
+				name, members, chi2, bound, counts)
+		}
+	}
+}
+
+// TestDiffArcs: the boundary-walk diff agrees exactly with per-key
+// brute force — a key's position falls in some move's arcs iff its
+// owner changes, and then in exactly the (old owner → new owner) move.
+func TestDiffArcs(t *testing.T) {
+	const keys = 20000
+	cases := []struct {
+		name      string
+		old, next *Ring
+	}{
+		{"grow", NewRing(3, 64), NewRing(3, 64).Add(3)},
+		{"shrink", NewRing(4, 64), NewRing(4, 64).Without(1)},
+		{"regrow-hole", NewRing(4, 64).Without(2), NewRing(4, 64).Without(2).Add(5)},
+		{"same", NewRing(3, 64), NewRing(3, 64)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			moves := diffArcs(tc.old, tc.next)
+			if tc.name == "same" {
+				if len(moves) != 0 {
+					t.Fatalf("identical rings produced %d moves", len(moves))
+				}
+				return
+			}
+			for i := uint64(0); i < keys; i++ {
+				key := workload.Key(i)
+				was, now := tc.old.Owner(key), tc.next.Owner(key)
+				pos := store.KeyPos(key)
+				hits := 0
+				for _, m := range moves {
+					if !store.ArcsContain(m.arcs, pos) {
+						continue
+					}
+					hits++
+					if was == now {
+						t.Fatalf("key %q did not move but lies in move %d→%d", key, m.from, m.to)
+					}
+					if m.from != was || m.to != now {
+						t.Fatalf("key %q moved %d→%d but lies in move %d→%d", key, was, now, m.from, m.to)
+					}
+				}
+				if was != now && hits != 1 {
+					t.Fatalf("key %q moved %d→%d but is covered by %d moves, want exactly 1", key, was, now, hits)
+				}
+				if was == now && hits != 0 {
+					t.Fatalf("key %q is stable but covered by %d moves", key, hits)
+				}
+			}
+		})
 	}
 }

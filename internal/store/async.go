@@ -266,6 +266,17 @@ func (c *AsyncClient) ScanAsync(prefix string, limit int) *Future {
 	})
 }
 
+// ForwardAsync submits a point op wrapped in an OpForward frame: the
+// receiving node's Router executes it as an op that has already taken
+// hops forwarding hops. The future resolves with the inner op's plain
+// scalar response — this is the transport a cluster node uses to pass
+// an op it no longer owns to the node that does.
+func (c *AsyncClient) ForwardAsync(req Request, hops int) *Future {
+	return c.submit(req.Op, nil, func(dst []byte) ([]byte, error) {
+		return AppendMigrateRequest(dst, MigrateRequest{Op: OpForward, Hops: byte(hops), Inner: req})
+	})
+}
+
 // BatchAsync submits a mixed batch of scalar sub-requests as one frame;
 // resolve it with WaitBatch.
 func (c *AsyncClient) BatchAsync(reqs []Request) *Future {

@@ -246,6 +246,84 @@ func (c *Client) Scan(prefix string, limit int) ([]Entry, error) {
 	return resp.Entries, nil
 }
 
+// migRoundTrip sends one migration frame and decodes its response.
+func (c *Client) migRoundTrip(req MigrateRequest) (MigrateResponse, error) {
+	body, err := AppendMigrateRequest(c.ebuf[:0], req)
+	if err != nil {
+		return MigrateResponse{}, err
+	}
+	c.ebuf = body[:0]
+	rbody, err := c.exchange(body)
+	if err != nil {
+		return MigrateResponse{}, err
+	}
+	resp, err := ParseMigrateResponse(req.Op, rbody)
+	if err != nil {
+		return MigrateResponse{}, err
+	}
+	if resp.Status == StatusError {
+		return MigrateResponse{}, fmt.Errorf("store: server error: %s", resp.Msg)
+	}
+	return resp, nil
+}
+
+// MigExport requests one chunk of the server's entries whose ring
+// positions fall in arcs, resuming from cursor (0 starts the walk; pass
+// the returned cursor until done).
+func (c *Client) MigExport(cursor uint64, max int, arcs []Arc) (entries []Entry, next uint64, done bool, err error) {
+	if max <= 0 || max > MaxBatchOps {
+		max = MaxBatchOps
+	}
+	resp, err := c.migRoundTrip(MigrateRequest{Op: OpMigExport, Cursor: cursor, Max: uint16(max), Arcs: arcs})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return resp.Entries, resp.Next, resp.Done, nil
+}
+
+// MigDigest fetches the server's order-independent checksums for arcs.
+func (c *Client) MigDigest(arcs []Arc, slots int) ([]uint64, error) {
+	if slots <= 0 || slots > MaxDigestSlots {
+		return nil, ErrBadSlots
+	}
+	resp, err := c.migRoundTrip(MigrateRequest{Op: OpMigDigest, Slots: uint16(slots), Arcs: arcs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Digests) != slots {
+		return nil, fmt.Errorf("store: digest count %d, want %d", len(resp.Digests), slots)
+	}
+	return resp.Digests, nil
+}
+
+// MigApply lands migrated entries and deletes on the server's local
+// store (bypassing any Router), chunked under the frame and count
+// bounds; it returns the number of ops applied.
+func (c *Client) MigApply(puts []Entry, dels []string) (int, error) {
+	applied := 0
+	for _, chunk := range mputChunks(puts) {
+		if len(chunk) == 0 {
+			continue
+		}
+		resp, err := c.migRoundTrip(MigrateRequest{Op: OpMigApply, Puts: chunk})
+		if err != nil {
+			return applied, err
+		}
+		applied += int(resp.Applied)
+	}
+	for _, chunk := range mgetChunks(dels) {
+		if len(chunk) == 0 {
+			continue
+		}
+		resp, err := c.migRoundTrip(MigrateRequest{Op: OpMigApply, Dels: chunk})
+		if err != nil {
+			return applied, err
+		}
+		applied += int(resp.Applied)
+	}
+	return applied, nil
+}
+
 // LocalConn adapts a Handle to the Client method set, so the workload
 // engine can drive a store in-process (no wire) through the same
 // interface as a remote client. Like Handle, it is single-goroutine.

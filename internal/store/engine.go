@@ -66,6 +66,16 @@ type shardAccess interface {
 	execGroup(shard int, reqs []Request, hashes []uint64, idxs []int, resps []Response)
 	// scanShard appends copies of the shard's entries matching prefix.
 	scanShard(shard int, prefix string, out []Entry) []Entry
+	// exportShard walks the shard's buckets from index from, appending
+	// copies of the entries whose hash satisfies pred, and stops early at
+	// a bucket boundary once maxEntries entries or maxBytes encoded bytes
+	// have been appended. It returns the next bucket index to resume from
+	// (the shard's bucket count when exhausted). Whole-bucket granularity
+	// is what makes a resumed walk sound under concurrent writes: a
+	// bucket is either fully shipped or not started, so a mutation can
+	// only affect buckets the cursor has not passed — and mutations
+	// behind the cursor are the migration tracker's job.
+	exportShard(shard, from int, pred func(hash uint64) bool, maxEntries, maxBytes int, out []Entry) (int, []Entry)
 	// entries returns the shard's live entry count.
 	entries(shard int) int
 	// stats snapshots the shard's operation counters.

@@ -41,6 +41,7 @@ const (
 	actDel
 	actGroup
 	actScan
+	actExport
 	actEntries
 	actStats
 )
@@ -58,7 +59,13 @@ type actorMsg struct {
 	idxs   []int
 	resps  []Response
 	out    []Entry
-	reply  chan actorReply
+	// actExport parameters; pred runs on the owner goroutine, which is
+	// safe because it only reads hashes it is handed.
+	pred     func(uint64) bool
+	from     int
+	maxn     int
+	maxBytes int
+	reply    chan actorReply
 }
 
 // actorReply is the owner's response.
@@ -124,6 +131,8 @@ func (e *actorEngine) handle(tbl *shardTable, m actorMsg) {
 		execPointOps(m.reqs, m.hashes, m.idxs, m.resps, tbl.get, tbl.put, tbl.del)
 	case actScan:
 		r.out = tbl.scan(m.key, m.out)
+	case actExport:
+		r.n, r.out = tbl.export(m.from, m.pred, m.maxn, m.maxBytes, m.out)
 	case actEntries:
 		r.n = tbl.entries
 	case actStats:
@@ -205,6 +214,15 @@ func (a *actorAccess) execGroup(shard int, reqs []Request, hashes []uint64, idxs
 
 func (a *actorAccess) scanShard(shard int, prefix string, out []Entry) []Entry {
 	return a.call(shard, actorMsg{kind: actScan, key: prefix, out: out}).out
+}
+
+// exportShard ships the walk as one message like everything else. A
+// zero reply (engine closed mid-call) returns next == 0 with no
+// entries — no forward progress — which the store layer treats as
+// "walk over" rather than looping on a dead mailbox.
+func (a *actorAccess) exportShard(shard, from int, pred func(uint64) bool, maxEntries, maxBytes int, out []Entry) (int, []Entry) {
+	r := a.call(shard, actorMsg{kind: actExport, from: from, pred: pred, maxn: maxEntries, maxBytes: maxBytes, out: out})
+	return r.n, r.out
 }
 
 func (a *actorAccess) entries(shard int) int {

@@ -84,6 +84,12 @@ func (a *lockedAccess) scanShard(shard int, prefix string, out []Entry) []Entry 
 	return a.e.shards[shard].scan(prefix, out)
 }
 
+func (a *lockedAccess) exportShard(shard, from int, pred func(uint64) bool, maxEntries, maxBytes int, out []Entry) (int, []Entry) {
+	a.lock(shard)
+	defer a.unlock(shard)
+	return a.e.shards[shard].export(from, pred, maxEntries, maxBytes, out)
+}
+
 func (a *lockedAccess) entries(shard int) int {
 	a.lock(shard)
 	defer a.unlock(shard)

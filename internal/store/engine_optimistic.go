@@ -302,6 +302,48 @@ func (a *optAccess) scanShard(shard int, prefix string, out []Entry) []Entry {
 	}
 }
 
+// exportShard is a seqlock snapshot walk over buckets [from, len),
+// exactly like scanShard but bounded: it stops at a bucket boundary
+// once the entry or byte budget is reached, and the whole chunk
+// revalidates against the shard version so a resumed walk never
+// observes a half-published bucket. Bucket indices are stable under
+// copy-on-write publishes (only bucket contents are rebuilt), so the
+// resume cursor survives concurrent writers.
+func (a *optAccess) exportShard(shard, from int, pred func(uint64) bool, maxEntries, maxBytes int, out []Entry) (int, []Entry) {
+	sh := &a.e.shards[shard]
+	a.count(sh).scans.Add(1)
+	base := len(out)
+	for spins := 0; ; spins++ {
+		v1 := sh.version.Load()
+		if v1&1 == 0 {
+			out = out[:base]
+			next, bytes := len(sh.buckets), 0
+			for bi := from; bi < len(sh.buckets); bi++ {
+				if len(out)-base >= maxEntries || bytes >= maxBytes {
+					next = bi
+					break
+				}
+				b := sh.buckets[bi].Load()
+				if b == nil {
+					continue
+				}
+				for i, h := range b.hashes {
+					if pred(h) {
+						out = append(out, Entry{Key: b.keys[i], Value: append([]byte(nil), b.vals[i]...)})
+						bytes += entryWireSize(b.keys[i], b.vals[i])
+					}
+				}
+			}
+			if sh.version.Load() == v1 {
+				return next, out
+			}
+		}
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
 func (a *optAccess) entries(shard int) int {
 	return int(a.e.shards[shard].live.Load())
 }

@@ -15,10 +15,30 @@ import (
 // connections are striped over NUMA nodes round-robin for the
 // hierarchical lock algorithms.
 type Server struct {
-	store *Store
-	nodes int
-	next  atomic.Uint64 // round-robin NUMA-node assignment
+	store  *Store
+	nodes  int
+	next   atomic.Uint64 // round-robin NUMA-node assignment
+	router Router
 }
+
+// Router intercepts point ops so a layer above the store (the cluster's
+// per-node migration filter) can decide where each executes: locally
+// through the handle, or forwarded to the node that owns the key now.
+// Scans and the migration frames bypass it — scans are fanned out by
+// clients and always read the local store, and migration streaming must
+// reach the local store even (especially) when the ring says the keys
+// belong elsewhere.
+type Router interface {
+	// Route executes one point op that has taken hops forwarding hops so
+	// far (0 for a freshly arrived op).
+	Route(h *Handle, req Request, hops int) Response
+	// RouteBatch executes a batch's sub-ops, routing each.
+	RouteBatch(h *Handle, reqs []Request) []Response
+}
+
+// SetRouter installs r on the server. It must be called before any
+// connection is served.
+func (sv *Server) SetRouter(r Router) { sv.router = r }
 
 // NewServer wraps a store. nodes is the NUMA-node count to stripe
 // connections over (values below 1 mean 1).
@@ -89,7 +109,20 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 			if err != nil {
 				return sv.reject(bw, out, err) // out keeps the echoed tag
 			}
-			out = appendBatchBounded(out, b.Reqs, h.ExecBatch(b.Reqs))
+			resps := h.ExecBatch
+			if sv.router != nil {
+				resps = func(reqs []Request) []Response { return sv.router.RouteBatch(h, reqs) }
+			}
+			out = appendBatchBounded(out, b.Reqs, resps(b.Reqs))
+		} else if len(inner) > 0 && inner[0] >= OpMigExport && inner[0] <= OpForward {
+			mreq, err := ParseMigrateRequest(inner)
+			if err != nil {
+				return sv.reject(bw, out, err) // out keeps the echoed tag
+			}
+			out, err = sv.executeMigrate(h, mreq, out)
+			if err != nil {
+				return err
+			}
 		} else {
 			req, err := ParseRequest(inner)
 			if err != nil {
@@ -97,7 +130,13 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 			}
 			// len(out) is the tag overhead (0 or 4): a scan trimmed to
 			// MaxFrame must still fit after the tag is prepended.
-			out, err = AppendResponse(out, req.Op, sv.execute(h, req, len(out)))
+			var resp Response
+			if sv.router != nil && req.Op != OpScan && req.Op >= OpGet && req.Op <= OpDelete {
+				resp = sv.router.Route(h, req, 0)
+			} else {
+				resp = sv.execute(h, req, len(out))
+			}
+			out, err = AppendResponse(out, req.Op, resp)
 			if err != nil {
 				return err
 			}
@@ -204,6 +243,43 @@ func (sv *Server) execute(h *Handle, req Request, overhead int) Response {
 		return Response{Status: StatusOK, Entries: trimToFrame(entries, overhead)}
 	}
 	return Response{Status: StatusError, Msg: ErrBadOp.Error()}
+}
+
+// executeMigrate serves the migration frames. EXPORT, DIGEST and APPLY
+// hit the local store directly — never the Router — because the
+// migration driver deliberately reads and writes nodes the ring does
+// not route to. FORWARD goes through the Router when one is installed
+// (the whole point of the frame); without one the op just executes
+// locally, which keeps a store-only deployment honest.
+func (sv *Server) executeMigrate(h *Handle, mreq MigrateRequest, out []byte) ([]byte, error) {
+	switch mreq.Op {
+	case OpMigExport:
+		// Budget the chunk so the response frame cannot overflow: entries
+		// stop at a bucket boundary under the byte cap, with headroom for
+		// the tag, status, cursor and one bucket of overshoot.
+		entries, next, done := h.ExportRange(mreq.Cursor, int(mreq.Max), MaxFrame/2, mreq.Arcs)
+		resp := MigrateResponse{Status: StatusOK, Done: done, Next: next, Entries: entries}
+		enc, err := AppendMigrateResponse(out, mreq.Op, resp)
+		if err != nil {
+			enc, err = AppendMigrateResponse(out, mreq.Op, MigrateResponse{Status: StatusError, Msg: err.Error()})
+		}
+		return enc, err
+	case OpMigDigest:
+		digests := h.DigestRange(mreq.Arcs, int(mreq.Slots))
+		return AppendMigrateResponse(out, mreq.Op, MigrateResponse{Status: StatusOK, Digests: digests})
+	case OpMigApply:
+		applied := h.ApplyMigration(mreq.Puts, mreq.Dels)
+		return AppendMigrateResponse(out, mreq.Op, MigrateResponse{Status: StatusOK, Applied: uint32(applied)})
+	case OpForward:
+		var resp Response
+		if sv.router != nil {
+			resp = sv.router.Route(h, mreq.Inner, int(mreq.Hops))
+		} else {
+			resp = h.Exec(mreq.Inner)
+		}
+		return AppendResponse(out, mreq.Inner.Op, resp)
+	}
+	return out, ErrBadOp
 }
 
 // trimToFrame drops trailing scan entries until the encoded response

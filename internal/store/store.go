@@ -162,6 +162,29 @@ func (sh *shardTable) scan(prefix string, out []Entry) []Entry {
 	return out
 }
 
+// export walks buckets [from, len) appending entries whose hash
+// satisfies pred; it stops at a bucket boundary once maxEntries entries
+// or maxBytes of wire payload are appended, returning the next bucket
+// index (len(buckets) when the walk is complete). Counted as a scan.
+func (sh *shardTable) export(from int, pred func(uint64) bool, maxEntries, maxBytes int, out []Entry) (int, []Entry) {
+	sh.ops.Scans++
+	base, bytes := len(out), 0
+	for b := from; b < len(sh.buckets); b++ {
+		if len(out)-base >= maxEntries || bytes >= maxBytes {
+			return b, out
+		}
+		for s := &sh.buckets[b]; s != nil; s = s.next {
+			for j := 0; j < segCap; j++ {
+				if s.used[j] && pred(s.hashes[j]) {
+					out = append(out, Entry{Key: s.keys[j], Value: append([]byte(nil), s.vals[j]...)})
+					bytes += entryWireSize(s.keys[j], s.vals[j])
+				}
+			}
+		}
+	}
+	return len(sh.buckets), out
+}
+
 // Options configures a Store.
 type Options struct {
 	// Shards is the number of independently synchronized shards. Default 16.
