@@ -1,0 +1,118 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ssync/internal/harness"
+)
+
+// BenchMain implements `ssync bench`: the pinned performance-trajectory
+// sweep (engine × {1,4} nodes × uniform/zipfian, fixed seed) behind the
+// committed BENCH_<pr>.json references and their CI regression gate.
+//
+//	ssync bench -emit BENCH_8.json -pr 8        # (re)generate a reference
+//	ssync bench -check BENCH_8.json -out f.json # rerun + compare, exit 1 on regression
+//	ssync bench                                 # run once, JSON to stdout
+//
+// -check reproduces the reference's own run configuration (seed, reps,
+// short scaling) from its self-describing header, so the comparison is
+// always like-for-like regardless of the flags the CI leg passes.
+func BenchMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssync bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	emit := fs.String("emit", "", "write the sweep as a reference file at this path")
+	check := fs.String("check", "", "rerun the sweep pinned to this reference file and fail on regression")
+	out := fs.String("out", "", "with -check: also write the fresh results to this path (the CI artifact)")
+	pr := fs.Int("pr", 0, "PR number recorded in the emitted file header")
+	reps := fs.Int("reps", 0, "measured repetitions per cell (0 = default: 5, or 3 with -short)")
+	short := fs.Bool("short", false, "CI-scaled sizes: fewer ops and repetitions per cell")
+	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
+	if code, ok := parseArgs(fs, argv); !ok {
+		return code
+	}
+	if *emit != "" && *check != "" {
+		fmt.Fprintln(stderr, "ssync bench: -emit and -check are mutually exclusive")
+		return 2
+	}
+
+	cfg := harness.BenchConfig{PR: *pr, Reps: *reps, Short: *short}
+	if !*quiet {
+		cfg.Log = stderr
+	}
+
+	var ref *harness.BenchFile
+	if *check != "" {
+		rf, err := os.Open(*check)
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync bench:", err)
+			return 2
+		}
+		ref, err = harness.ReadBench(rf)
+		rf.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync bench:", err)
+			return 2
+		}
+		// Pin the rerun to the reference's recorded configuration.
+		cfg.PR, cfg.Reps, cfg.Short = ref.PR, ref.Reps, ref.Short
+	}
+
+	fresh, err := harness.RunBench(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssync bench:", err)
+		return 1
+	}
+
+	writeTo := func(path string) int {
+		f, err := os.Create(path)
+		if err == nil {
+			err = harness.WriteBench(f, fresh)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync bench:", err)
+			return 1
+		}
+		return 0
+	}
+
+	switch {
+	case *emit != "":
+		if code := writeTo(*emit); code != 0 {
+			return code
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d rows)\n", *emit, len(fresh.Rows))
+		return 0
+	case *check != "":
+		if *out != "" {
+			if code := writeTo(*out); code != 0 {
+				return code
+			}
+		}
+		violations, err := harness.CompareBench(ref, fresh)
+		if err != nil {
+			fmt.Fprintln(stderr, "ssync bench:", err)
+			return 2
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(stderr, "ssync bench: %d regression(s) against %s:\n", len(violations), *check)
+			for _, v := range violations {
+				fmt.Fprintln(stderr, " ", v)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "bench gate passed: %d rows within noise bounds of %s\n", len(fresh.Rows), *check)
+		return 0
+	default:
+		if err := harness.WriteBench(stdout, fresh); err != nil {
+			fmt.Fprintln(stderr, "ssync bench:", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchEmitAndCheck drives the whole `ssync bench` lifecycle the CI
+// gate uses: emit a reference, re-check it against a fresh run of the
+// same pinned sweep (must pass within noise bounds, writing the fresh
+// artifact), then corrupt the reference and watch the gate fail.
+func TestBenchEmitAndCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep grid twice")
+	}
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "BENCH_test.json")
+
+	_, errOut, code := runMain(t, "bench", "-emit", ref, "-pr", "8", "-short", "-reps", "1", "-q")
+	if code != 0 {
+		t.Fatalf("emit: exit %d, stderr: %s", code, errOut)
+	}
+	raw, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Schema string `json:"schema"`
+		PR     int    `json:"pr"`
+		Seed   uint64 `json:"seed"`
+		Rows   []struct {
+			Engine string  `json:"engine"`
+			Kops   float64 `json:"kops"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("reference is not JSON: %v", err)
+	}
+	if file.Schema == "" || file.PR != 8 || file.Seed == 0 || len(file.Rows) == 0 {
+		t.Fatalf("reference header not self-describing: %+v", file)
+	}
+
+	fresh := filepath.Join(dir, "fresh.json")
+	_, errOut, code = runMain(t, "bench", "-check", ref, "-out", fresh, "-q")
+	if code != 0 {
+		t.Fatalf("check against own reference: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "bench gate passed") {
+		t.Fatalf("no pass message: %s", errOut)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh artifact not written: %v", err)
+	}
+
+	// An impossible reference (every cell 1000× faster, zero allocs)
+	// must fail the gate with exit 1 and named cells.
+	corrupt := strings.ReplaceAll(string(raw), `"kops": `, `"kops": 9999`)
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code = runMain(t, "bench", "-check", bad, "-q")
+	if code != 1 {
+		t.Fatalf("check against impossible reference: exit %d, want 1; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "regression") {
+		t.Fatalf("no regression report: %s", errOut)
+	}
+}
+
+func TestBenchFlagErrors(t *testing.T) {
+	if _, _, code := runMain(t, "bench", "-emit", "x", "-check", "y"); code != 2 {
+		t.Error("-emit with -check must exit 2")
+	}
+	if _, _, code := runMain(t, "bench", "-check", "/no/such/file.json"); code != 2 {
+		t.Error("missing reference must exit 2")
+	}
+	if _, _, code := runMain(t, "bench", "-h"); code != 0 {
+		t.Error("-h must exit 0")
+	}
+}

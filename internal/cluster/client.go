@@ -147,10 +147,36 @@ func (c *Client) Scan(prefix string, limit int) ([]store.Entry, error) {
 	return resps[0].Entries, nil
 }
 
-// routeGroups buckets request indices by owner node; scans (which have
-// no single owner) are returned separately.
-func (t *topology) routeGroups(reqs []store.Request, resps []store.Response) (groups [][]int, scans []int) {
-	groups = make([][]int, len(t.conns))
+// routeScratch is one pooled owner-bucketing table. Routed batches run
+// at pipeline depth on the hot path, so the per-call [][]int (and the
+// regrown index slices inside it) are worth recycling. Ownership rule:
+// the table (and every idxs slice handed out of it) is valid until
+// release, which a caller may only invoke after its last use of any
+// group — in practice a defer covering the whole routed call, since
+// response scatter reads the groups last.
+type routeScratch struct{ groups [][]int }
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
+// getGroups returns a cleared owner-bucketing table with n node slots.
+func getGroups(n int) *routeScratch {
+	s := routePool.Get().(*routeScratch)
+	if cap(s.groups) < n {
+		s.groups = make([][]int, n)
+	}
+	s.groups = s.groups[:n]
+	for i := range s.groups {
+		s.groups[i] = s.groups[i][:0]
+	}
+	return s
+}
+
+func (s *routeScratch) release() { routePool.Put(s) }
+
+// routeGroups buckets request indices by owner node into groups
+// (len(t.conns) slots); scans (which have no single owner) are returned
+// separately.
+func (t *topology) routeGroups(reqs []store.Request, resps []store.Response, groups [][]int) (scans []int) {
 	for i, r := range reqs {
 		switch r.Op {
 		case store.OpGet, store.OpPut, store.OpDelete:
@@ -164,7 +190,7 @@ func (t *topology) routeGroups(reqs []store.Request, resps []store.Response) (gr
 			}
 		}
 	}
-	return groups, scans
+	return scans
 }
 
 // subRequests gathers the requests at idxs, in order.
@@ -176,15 +202,13 @@ func subRequests(reqs []store.Request, idxs []int) []store.Request {
 	return sub
 }
 
-// splitByOwner buckets item indices 0..n-1 by the ring owner of
-// key(i) — the one routing loop MGet and MPut share.
-func (t *topology) splitByOwner(n int, key func(i int) string) [][]int {
-	groups := make([][]int, len(t.conns))
+// splitByOwner buckets item indices 0..n-1 into groups by the ring
+// owner of key(i) — the one routing loop MGet and MPut share.
+func (t *topology) splitByOwner(groups [][]int, n int, key func(i int) string) {
 	for i := 0; i < n; i++ {
 		owner := t.ring.Owner(key(i))
 		groups[owner] = append(groups[owner], i)
 	}
-	return groups
 }
 
 // mergeScan merges per-node scan results into one sorted, limit-trimmed
@@ -222,13 +246,17 @@ func (t *topology) mergeScan(nodes []int, perNode [][]store.Entry, limit int) []
 func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
 	t := c.topo.Load()
 	resps := make([]store.Response, len(reqs))
-	groups, scans := t.routeGroups(reqs, resps)
+	rs := getGroups(len(t.conns))
+	// parts.idxs alias the pooled groups; the deferred release runs only
+	// after the response scatter below has read them all.
+	defer rs.release()
+	scans := t.routeGroups(reqs, resps, rs.groups)
 	type part struct {
 		idxs []int
 		fut  *store.Future
 	}
 	var parts []part
-	for n, idxs := range groups {
+	for n, idxs := range rs.groups {
 		if len(idxs) == 0 {
 			continue
 		}
@@ -292,10 +320,12 @@ func (c *Client) ExecBatch(reqs []store.Request) ([]store.Response, error) {
 func (c *Client) MGet(keys []string) ([][]byte, error) {
 	t := c.topo.Load()
 	vals := make([][]byte, len(keys))
-	groups := t.splitByOwner(len(keys), func(i int) string { return keys[i] })
+	rs := getGroups(len(t.conns))
+	defer rs.release() // the goroutines' idxs are dead after wg.Wait
+	t.splitByOwner(rs.groups, len(keys), func(i int) string { return keys[i] })
 	errs := make([]error, len(t.conns))
 	var wg sync.WaitGroup
-	for n, idxs := range groups {
+	for n, idxs := range rs.groups {
 		if len(idxs) == 0 {
 			continue
 		}
@@ -328,11 +358,13 @@ func (c *Client) MGet(keys []string) ([][]byte, error) {
 // concurrently; it reports how many keys were newly inserted.
 func (c *Client) MPut(entries []store.Entry) (int, error) {
 	t := c.topo.Load()
-	groups := t.splitByOwner(len(entries), func(i int) string { return entries[i].Key })
+	rs := getGroups(len(t.conns))
+	defer rs.release() // the goroutines' idxs are dead after wg.Wait
+	t.splitByOwner(rs.groups, len(entries), func(i int) string { return entries[i].Key })
 	created := make([]int, len(t.conns))
 	errs := make([]error, len(t.conns))
 	var wg sync.WaitGroup
-	for n, idxs := range groups {
+	for n, idxs := range rs.groups {
 		if len(idxs) == 0 {
 			continue
 		}
@@ -373,9 +405,13 @@ func (c *Client) Issue(ops []workload.Op) workload.Pending {
 		return &routedScalarPending{op: ops[0], fut: submitRouted(t, ops[0])}
 	}
 	reqs := store.ToRequests(ops)
-	groups, scans := t.routeGroups(reqs, nil)
+	rs := getGroups(len(t.conns))
+	// Safe to release at return: subRequests copies each group's requests
+	// out, and routedPending retains no index slice.
+	defer rs.release()
+	scans := t.routeGroups(reqs, nil, rs.groups)
 	p := &routedPending{t: t}
-	for n, idxs := range groups {
+	for n, idxs := range rs.groups {
 		if len(idxs) == 0 {
 			continue
 		}

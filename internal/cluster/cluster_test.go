@@ -17,6 +17,74 @@ func newTestCluster(t *testing.T, nodes int, opt store.Options) *Cluster {
 	return c
 }
 
+// TestRoutedClientNoBufferAliasing extends store's buffer-aliasing
+// audit to the routing client: its batch path hands out index groups
+// from a sync.Pool and fans sub-batches through per-node async
+// connections whose frame buffers are themselves pooled. Values decoded
+// from routed responses (scalar, batch and scan) must stay intact while
+// later routed calls churn every one of those pools.
+func TestRoutedClientNoBufferAliasing(t *testing.T) {
+	c := newTestCluster(t, 3, store.Options{Shards: 4, Lock: locks.TICKET})
+	cl := c.Dial(0)
+	defer cl.Close()
+
+	big := make([]byte, 96<<10)
+	for i := range big {
+		big[i] = byte(i * 11)
+	}
+	bigKeys := make([]string, 6) // spread over the ring: several nodes hold one
+	for i := range bigKeys {
+		bigKeys[i] = fmt.Sprintf("alias-big-%02d", i)
+		if _, err := cl.Put(bigKeys[i], big); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var retained [][]byte
+	for round := 0; round < 6; round++ {
+		// Routed batch: pooled route groups + per-node batch frames.
+		reqs := make([]store.Request, 0, len(bigKeys)+1)
+		for _, k := range bigKeys {
+			reqs = append(reqs, store.Request{Op: store.OpGet, Key: k})
+		}
+		small := fmt.Sprintf("alias-small-%02d", round)
+		reqs = append(reqs, store.Request{Op: store.OpPut, Key: small, Value: bytes.Repeat([]byte{byte(round + 1)}, 256)})
+		resps, err := cl.ExecBatch(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bigKeys {
+			if resps[i].Status != store.StatusOK {
+				t.Fatalf("round %d: routed get %d status %d", round, i, resps[i].Status)
+			}
+			retained = append(retained, resps[i].Value)
+		}
+		// Routed scalar get and MGet churn the pools between rounds.
+		if v, found, err := cl.Get(small); err != nil || !found || v[0] != byte(round+1) {
+			t.Fatalf("round %d: routed Get(%s) = %v, %v", round, small, found, err)
+		}
+		if _, err := cl.MGet(bigKeys); err != nil {
+			t.Fatal(err)
+		}
+		// A scan response's entries share backing blobs (the bulk-copy
+		// parse); mutating nothing, they must match the stored values.
+		entries, err := cl.Scan("alias-big-", 0)
+		if err != nil || len(entries) != len(bigKeys) {
+			t.Fatalf("round %d: scan = %d entries, %v", round, len(entries), err)
+		}
+		for _, e := range entries {
+			if !bytes.Equal(e.Value, big) {
+				t.Fatalf("round %d: scan entry %q corrupted", round, e.Key)
+			}
+		}
+	}
+	for i, v := range retained {
+		if !bytes.Equal(v, big) {
+			t.Fatalf("retained routed value %d corrupted by pooled-buffer reuse", i)
+		}
+	}
+}
+
 // TestClusterPointOps: routed puts land on exactly the ring owner's
 // store, and gets/deletes find them through any client.
 func TestClusterPointOps(t *testing.T) {

@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"ssync/internal/cluster"
+	"ssync/internal/locks"
+	"ssync/internal/stats"
+	"ssync/internal/store"
+	"ssync/internal/workload"
+)
+
+// This file implements the pinned performance-trajectory sweep behind
+// `ssync bench`: the store/cluster grid (engine × node count × key
+// distribution) run with a fixed seed and fixed sizes, summarised as
+// Kops/s and allocs/op per cell, emitted as a committed BENCH_<pr>.json
+// reference, and recheckable — a fresh run of the same pinned sweep is
+// compared against the reference within noise bounds derived from
+// internal/stats (median ± MAD), so a hot-path regression fails CI
+// instead of landing silently.
+//
+// The two metrics age differently. allocs/op is a property of the code,
+// not the machine: it is identical across hosts (modulo scheduling
+// noise from background goroutines), so its tolerance is tight.
+// Kops/s is wall-clock and therefore host-dependent; its tolerance is
+// relative and deliberately generous — the gate exists to catch an
+// accidental O(n) or a lost zero-alloc seam (integer-factor slumps),
+// not 10% machine-to-machine drift.
+
+// BenchSchema identifies the reference-file layout; CompareBench
+// refuses files written by a different one.
+const BenchSchema = "ssync-bench/v1"
+
+// BenchSeed is the pinned workload seed of the sweep.
+const BenchSeed = 0xb5eed
+
+// Pinned sweep axes: every engine, single node vs a routed 4-node
+// ring, balanced vs skewed keys.
+var (
+	benchNodes = []int{1, 4}
+	benchDists = []string{"uniform", "zipfian"}
+)
+
+// BenchConfig shapes one sweep invocation.
+type BenchConfig struct {
+	// PR tags the emitted file header (BENCH_<pr>.json).
+	PR int
+	// Reps is the measured repetitions per cell (default 5, short 3).
+	Reps int
+	// Short scales the per-repetition operation count down for CI.
+	Short bool
+	// Log, when non-nil, receives one progress line per cell.
+	Log io.Writer
+}
+
+// BenchRow is one cell of the sweep: medians and MADs over the
+// repetitions, rounded to stable precision (Kops to 1 decimal, allocs
+// to 2) so the committed file diffs cleanly.
+type BenchRow struct {
+	Engine      string  `json:"engine"`
+	Nodes       int     `json:"nodes"`
+	Dist        string  `json:"dist"`
+	Kops        float64 `json:"kops"`
+	KopsMAD     float64 `json:"kops_mad"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	AllocsMAD   float64 `json:"allocs_mad"`
+}
+
+// key identifies a row within a file for cross-file matching.
+func (r BenchRow) key() string { return fmt.Sprintf("%s/%dn/%s", r.Engine, r.Nodes, r.Dist) }
+
+// BenchFile is the committed reference: a self-describing header (the
+// exact run configuration, so a checker can reproduce it from the file
+// alone) plus one row per sweep cell.
+type BenchFile struct {
+	Schema  string     `json:"schema"`
+	PR      int        `json:"pr"`
+	Seed    uint64     `json:"seed"`
+	Reps    int        `json:"reps"`
+	Short   bool       `json:"short"`
+	Engines []string   `json:"engines"`
+	Nodes   []int      `json:"nodes"`
+	Dists   []string   `json:"dists"`
+	Rows    []BenchRow `json:"rows"`
+}
+
+// benchOps returns the steady-phase operations per client.
+func benchOps(short bool) int {
+	if short {
+		return 1500
+	}
+	return 6000
+}
+
+// benchClients is the steady-phase client count of every cell.
+const benchClients = 4
+
+// RunBench executes the pinned sweep and returns the reference file.
+func RunBench(cfg BenchConfig) (*BenchFile, error) {
+	if cfg.Reps < 1 {
+		if cfg.Short {
+			cfg.Reps = 3
+		} else {
+			cfg.Reps = 5
+		}
+	}
+	f := &BenchFile{
+		Schema: BenchSchema,
+		PR:     cfg.PR,
+		Seed:   BenchSeed,
+		Reps:   cfg.Reps,
+		Short:  cfg.Short,
+		Nodes:  benchNodes,
+		Dists:  benchDists,
+	}
+	for _, eng := range store.Engines {
+		f.Engines = append(f.Engines, string(eng))
+	}
+	ops := benchOps(cfg.Short)
+	for _, eng := range store.Engines {
+		for _, nodes := range benchNodes {
+			for _, dist := range benchDists {
+				row, err := runBenchCell(eng, nodes, dist, ops, cfg.Reps)
+				if err != nil {
+					return nil, fmt.Errorf("bench %s/%dn/%s: %w", eng, nodes, dist, err)
+				}
+				if cfg.Log != nil {
+					fmt.Fprintf(cfg.Log, "%-28s %8.1f Kops/s (±%.1f)  %6.2f allocs/op (±%.2f)\n",
+						row.key(), row.Kops, row.KopsMAD, row.AllocsPerOp, row.AllocsMAD)
+				}
+				f.Rows = append(f.Rows, row)
+			}
+		}
+	}
+	return f, nil
+}
+
+// runBenchCell measures one engine × nodes × dist cell: cfg.Reps
+// repetitions of the pinned scenario against a fresh cluster each,
+// Kops/s from the steady phase and allocs/op from the heap-allocation
+// delta across the whole run (total mallocs are monotonic, so the
+// delta is exact regardless of concurrent GC).
+func runBenchCell(eng store.Engine, nodes int, distName string, ops, reps int) (BenchRow, error) {
+	kops := make([]float64, 0, reps)
+	allocs := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		dist, err := workload.ParseDist(distName, 4096)
+		if err != nil {
+			return BenchRow{}, err
+		}
+		c := cluster.New(cluster.Options{
+			Nodes: nodes,
+			Store: store.Options{
+				Shards:     8,
+				Engine:     eng,
+				Lock:       locks.TICKET,
+				MaxThreads: benchClients + 2,
+			},
+		})
+		scenario := workload.Scenario{
+			Dist:     dist,
+			Mix:      workload.Mix{Get: 95, Put: 5},
+			Preload:  2048,
+			Phases:   workload.RampSteady(benchClients, ops),
+			Seed:     BenchSeed,
+			Batch:    4,
+			Pipeline: 8,
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		results, err := workload.Run(scenario, func(int) (workload.Conn, error) {
+			return store.Driver{C: c.Dial(8)}, nil
+		})
+		runtime.ReadMemStats(&after)
+		c.Close()
+		if err != nil {
+			return BenchRow{}, err
+		}
+		total := uint64(0)
+		for _, ph := range results {
+			total += ph.Ops
+		}
+		steady := results[len(results)-1]
+		kops = append(kops, steady.Kops())
+		if total > 0 {
+			allocs = append(allocs, float64(after.Mallocs-before.Mallocs)/float64(total))
+		}
+	}
+	return BenchRow{
+		Engine:      string(eng),
+		Nodes:       nodes,
+		Dist:        distName,
+		Kops:        stats.Round(stats.Median(kops), 1),
+		KopsMAD:     stats.Round(stats.MAD(kops), 1),
+		AllocsPerOp: stats.Round(stats.Median(allocs), 2),
+		AllocsMAD:   stats.Round(stats.MAD(allocs), 2),
+	}, nil
+}
+
+// WriteBench writes the file as indented JSON (the committed form).
+func WriteBench(w io.Writer, f *BenchFile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadBench parses a reference file and validates its schema.
+func ReadBench(r io.Reader) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("bench reference: %w", err)
+	}
+	if f.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench reference: schema %q, this binary reads %q", f.Schema, BenchSchema)
+	}
+	return &f, nil
+}
+
+// CompareBench checks a fresh rerun of the sweep against the committed
+// reference and returns one violation string per regression beyond
+// noise bounds (empty means the gate passes). The comparison errors —
+// rather than reporting violations — when the two files do not describe
+// the same pinned sweep (different seed, sizes or axes), because then a
+// row-by-row comparison would be meaningless.
+//
+// Bounds, per row:
+//   - allocs/op is machine-independent; the fresh median must not
+//     exceed the reference by more than max(1, 4×(refMAD+freshMAD)) —
+//     one allocation of slack for scheduling noise, widened only by
+//     measured repetition spread.
+//   - Kops/s is machine-dependent; the fresh median must stay above
+//     (1−tol)×reference with tol = max(0.40, 4×ΣMAD/median) — generous
+//     enough to absorb host differences, tight enough that a lost
+//     zero-alloc seam or an accidental O(n) (integer-factor slumps)
+//     still trips it.
+//
+// Improvements never fail the gate; refresh the reference when one is
+// intentional (see DESIGN).
+func CompareBench(ref, fresh *BenchFile) ([]string, error) {
+	if ref.Schema != fresh.Schema {
+		return nil, fmt.Errorf("bench compare: schema %q vs %q", ref.Schema, fresh.Schema)
+	}
+	if ref.Seed != fresh.Seed || ref.Short != fresh.Short || ref.Reps != fresh.Reps {
+		return nil, fmt.Errorf("bench compare: run config differs (seed %d/%d, short %v/%v, reps %d/%d) — not the same pinned sweep",
+			ref.Seed, fresh.Seed, ref.Short, fresh.Short, ref.Reps, fresh.Reps)
+	}
+	byKey := map[string]BenchRow{}
+	for _, r := range fresh.Rows {
+		byKey[r.key()] = r
+	}
+	var violations []string
+	for _, r := range ref.Rows {
+		fr, ok := byKey[r.key()]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from fresh run", r.key()))
+			continue
+		}
+		allocTol := 4 * (r.AllocsMAD + fr.AllocsMAD)
+		if allocTol < 1 {
+			allocTol = 1
+		}
+		if fr.AllocsPerOp > r.AllocsPerOp+allocTol {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.2f allocs/op, reference %.2f (tolerance +%.2f) — hot path gained allocations",
+				r.key(), fr.AllocsPerOp, r.AllocsPerOp, allocTol))
+		}
+		if r.Kops > 0 {
+			tol := 4 * (r.KopsMAD + fr.KopsMAD) / r.Kops
+			if tol < 0.40 {
+				tol = 0.40
+			}
+			if floor := r.Kops * (1 - tol); fr.Kops < floor {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %.1f Kops/s, reference %.1f (floor %.1f at %.0f%% tolerance)",
+					r.key(), fr.Kops, r.Kops, floor, 100*tol))
+			}
+		}
+	}
+	sort.Strings(violations)
+	return violations, nil
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBenchSweepAndGate runs the pinned sweep at test scale and drives
+// the whole reference lifecycle: emit → read back → self-check passes →
+// an injected regression fails with a violation naming the cell.
+func TestBenchSweepAndGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep grid")
+	}
+	f, err := RunBench(BenchConfig{PR: 8, Reps: 1, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(f.Engines) * len(f.Nodes) * len(f.Dists)
+	if len(f.Rows) != wantRows || wantRows == 0 {
+		t.Fatalf("%d rows, want %d", len(f.Rows), wantRows)
+	}
+	for _, r := range f.Rows {
+		if r.Kops <= 0 {
+			t.Errorf("%s: Kops %v, want > 0", r.key(), r.Kops)
+		}
+		if r.AllocsPerOp <= 0 {
+			t.Errorf("%s: allocs/op %v, want > 0 (batch parse copies exist by design)", r.key(), r.AllocsPerOp)
+		}
+	}
+
+	// The committed form round-trips, header intact.
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != BenchSeed || back.PR != 8 || !back.Short || len(back.Engines) == 0 {
+		t.Fatalf("header did not survive the round trip: %+v", back)
+	}
+
+	// A sweep compared against itself is within every bound.
+	if v, err := CompareBench(f, back); err != nil || len(v) != 0 {
+		t.Fatalf("self-compare: violations %v, err %v", v, err)
+	}
+
+	// An alloc regression and a throughput collapse both trip the gate,
+	// and the violation names the cell.
+	bad := *back
+	bad.Rows = append([]BenchRow(nil), back.Rows...)
+	bad.Rows[0].AllocsPerOp += 50
+	bad.Rows[1].Kops = back.Rows[1].Kops / 100
+	v, err := CompareBench(f, &bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, cell := range []string{bad.Rows[0].key(), bad.Rows[1].key()} {
+		if !strings.Contains(joined, cell) {
+			t.Errorf("violations do not name cell %s:\n%s", cell, joined)
+		}
+	}
+
+	// Files from different pinned configurations refuse to compare.
+	other := *back
+	other.Seed++
+	if _, err := CompareBench(f, &other); err == nil {
+		t.Fatal("comparing different run configs must error")
+	}
+}
+
+// TestBenchCompareMissingRow: a cell that disappeared from the fresh
+// run is a violation, not silently skipped coverage.
+func TestBenchCompareMissingRow(t *testing.T) {
+	ref := &BenchFile{Schema: BenchSchema, Seed: BenchSeed, Reps: 1,
+		Rows: []BenchRow{{Engine: "locked", Nodes: 1, Dist: "uniform", Kops: 100, AllocsPerOp: 2}}}
+	fresh := &BenchFile{Schema: BenchSchema, Seed: BenchSeed, Reps: 1}
+	v, err := CompareBench(ref, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("want one missing-row violation, got %v", v)
+	}
+}

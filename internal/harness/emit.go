@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"ssync/internal/bench"
+	"ssync/internal/stats"
 )
 
 // Emitter renders a result set.
@@ -32,14 +33,25 @@ func EmitterFor(format string) (Emitter, error) {
 // JSON emits the results as an indented JSON array.
 type JSON struct{}
 
-// Emit implements Emitter.
+// Emit implements Emitter. Float statistics are rounded to three
+// decimal places: full float64 precision makes committed result files
+// churn on every regeneration, and nothing downstream reads digits a
+// run-to-run rerun can't reproduce anyway.
 func (JSON) Emit(w io.Writer, results []Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if results == nil {
 		results = []Result{}
 	}
-	return enc.Encode(results)
+	rounded := make([]Result, len(results))
+	for i, r := range results {
+		r.Stats.Mean = stats.Round(r.Stats.Mean, 3)
+		r.Stats.Stddev = stats.Round(r.Stats.Stddev, 3)
+		r.Stats.Min = stats.Round(r.Stats.Min, 3)
+		r.Stats.Max = stats.Round(r.Stats.Max, 3)
+		rounded[i] = r
+	}
+	return enc.Encode(rounded)
 }
 
 // CSV emits one row per result with a header line.

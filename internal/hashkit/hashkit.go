@@ -34,6 +34,20 @@ func FNV1a(key string) uint64 {
 	return h
 }
 
+// FNV1aBytes hashes a byte-slice key with 64-bit FNV-1a. It is the
+// zero-copy twin of FNV1a for callers holding keys that alias a wire
+// frame: FNV1a(string(b)) as an argument materializes the string, and
+// that one conversion is exactly the per-request allocation the store's
+// hot path is not allowed to make.
+func FNV1aBytes(key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
 // Mix64 is the splitmix64 avalanche finalizer: every input bit affects
 // every output bit. FNV-1a over short, similar keys (the consistent-hash
 // ring's "node-i#vnode-j" labels) leaves enough structure that raw

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"ssync/internal/workload"
+)
+
+// The allocation regression gate for the point-op hot path. The
+// tentpole claim is: client encode → server decode → engine → response
+// encode → client decode allocates nothing per op in steady state,
+// except where an allocation is the mechanism itself —
+//
+//   - a direct Get that must return an owning copy (use GetAppend for
+//     the allocation-free form),
+//   - the optimistic engine's Put, whose copy-on-write bucket rebuild
+//     IS its synchronization (bounded, not zeroed, below),
+//   - the wire client's decoded value copy (the parse paths' copy-out
+//     invariant is what makes all the buffer pooling sound).
+//
+// Bounds are per-op averages over many runs; they hold on any machine
+// because allocation counts, unlike nanoseconds, are deterministic.
+
+// allocKeys preloads n keys and returns them (workload.Key formatting,
+// like the engine benchmarks).
+func allocKeys(h *Handle, n, valLen int) []string {
+	keys := make([]string, n)
+	val := make([]byte, valLen)
+	for i := range keys {
+		keys[i] = workload.Key(uint64(i))
+		h.Put(keys[i], val)
+	}
+	return keys
+}
+
+// optPutAllocBound is the allowance for one optimistic-engine put: the
+// rebuilt oBucket header plus its three parallel slices, the stored
+// value copy, and slack for the occasional bucket growth. The other
+// engines mutate in place and get no allowance at all.
+const optPutAllocBound = 8
+
+func TestPointOpAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	const runs = 200
+	val := make([]byte, 64)
+	for _, eng := range Engines {
+		t.Run(string(eng), func(t *testing.T) {
+			s := New(Options{Engine: eng})
+			defer s.Close()
+			h := s.NewHandle(0)
+			keys := allocKeys(h, 256, len(val))
+			var dst []byte
+			var i int
+
+			get := testing.AllocsPerRun(runs, func() {
+				dst, _ = h.GetAppend(keys[i%len(keys)], dst[:0])
+				i++
+			})
+			if get != 0 {
+				t.Errorf("GetAppend: %.2f allocs/op, want 0", get)
+			}
+
+			// Byte-keyed path: build the key in a reused buffer (the wire
+			// path's shape) so only the store's own allocations count.
+			kbuf := make([]byte, 0, 32)
+			getBytes := testing.AllocsPerRun(runs, func() {
+				kb := append(kbuf[:0], keys[i%len(keys)]...)
+				dst, _ = h.GetBytes(kb, dst[:0])
+				i++
+			})
+			if getBytes != 0 {
+				t.Errorf("GetBytes: %.2f allocs/op, want 0", getBytes)
+			}
+
+			put := testing.AllocsPerRun(runs, func() {
+				h.Put(keys[i%len(keys)], val)
+				i++
+			})
+			switch {
+			case eng == EngineOptimistic && put > optPutAllocBound:
+				t.Errorf("Put: %.2f allocs/op, want <= %d (copy-on-write)", put, optPutAllocBound)
+			case eng != EngineOptimistic && put != 0:
+				t.Errorf("Put: %.2f allocs/op, want 0", put)
+			}
+
+			putBytes := testing.AllocsPerRun(runs, func() {
+				kb := append(kbuf[:0], keys[i%len(keys)]...)
+				h.PutBytes(kb, val)
+				i++
+			})
+			switch {
+			case eng == EngineOptimistic && putBytes > optPutAllocBound:
+				t.Errorf("PutBytes: %.2f allocs/op, want <= %d (copy-on-write)", putBytes, optPutAllocBound)
+			case eng != EngineOptimistic && putBytes != 0:
+				t.Errorf("PutBytes: %.2f allocs/op, want 0", putBytes)
+			}
+		})
+	}
+}
+
+// TestWireAllocs pins the full wire round trip (net.Pipe transport,
+// lock-step client) to a small constant per op: the decoded value copy
+// on a get, and nothing but transport noise on a put.
+func TestWireAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	const runs = 200
+	val := make([]byte, 64)
+	for _, eng := range Engines {
+		t.Run(string(eng), func(t *testing.T) {
+			s := New(Options{Engine: eng})
+			defer s.Close()
+			c := NewServer(s, 1).PipeClient()
+			defer c.Close()
+			keys := allocKeys(s.NewHandle(0), 256, len(val))
+			var i int
+			warm := func(f func()) float64 {
+				f() // one warm-up op so steady-state buffers exist
+				return testing.AllocsPerRun(runs, f)
+			}
+
+			get := warm(func() {
+				if _, _, err := c.Get(keys[i%len(keys)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			// 1 for the decoded value copy + 1 of slack for the transport.
+			if get > 2 {
+				t.Errorf("wire Get: %.2f allocs/op, want <= 2", get)
+			}
+
+			putBound := 1.0 // transport slack only
+			if eng == EngineOptimistic {
+				putBound += optPutAllocBound
+			}
+			put := warm(func() {
+				if _, err := c.Put(keys[i%len(keys)], val); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if put > putBound {
+				t.Errorf("wire Put: %.2f allocs/op, want <= %.0f", put, putBound)
+			}
+		})
+	}
+}
+
+// TestBatchAllocs bounds the per-key allocation of the batched read
+// path (MGet) on every engine, direct and over the wire. Batches copy
+// their sub-requests at parse time by design, so the bound is a small
+// per-key constant, not zero — the gate is against accidental
+// per-key regressions (an extra copy, a dropped scratch reuse).
+func TestBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	const runs, batch = 50, 64
+	val := make([]byte, 64)
+	for _, eng := range Engines {
+		for _, mode := range []string{"direct", "wire"} {
+			t.Run(string(eng)+"/"+mode, func(t *testing.T) {
+				s := New(Options{Engine: eng})
+				defer s.Close()
+				keys := allocKeys(s.NewHandle(0), batch, len(val))
+				var conn BatchConn
+				if mode == "direct" {
+					conn = s.NewLocalConn(0)
+				} else {
+					c := NewServer(s, 1).PipeClient()
+					defer c.Close()
+					conn = c
+				}
+				if _, err := conn.MGet(keys); err != nil {
+					t.Fatal(err)
+				}
+				perOp := testing.AllocsPerRun(runs, func() {
+					if _, err := conn.MGet(keys); err != nil {
+						t.Fatal(err)
+					}
+				}) / batch
+				// Direct: response slice + value copy per key. Wire adds the
+				// parsed sub-request (key string + value copy) server-side
+				// and the decoded response value client-side.
+				bound := 3.0
+				if mode == "wire" {
+					bound = 6.0
+				}
+				if perOp > bound {
+					t.Errorf("MGet: %.2f allocs/key, want <= %.1f", perOp, bound)
+				}
+			})
+		}
+	}
+}
+
+// TestScanLimitClamp is the regression test for the 32-bit Limit
+// conversion bug: a wire limit >= 2^31 used to wrap negative through
+// int(), which Scan reads as "unlimited" — scanLimit must clamp it to
+// a positive bound on every platform.
+func TestScanLimitClamp(t *testing.T) {
+	if got := scanLimit(0); got != 0 {
+		t.Errorf("scanLimit(0) = %d, want 0 (unlimited)", got)
+	}
+	if got := scanLimit(7); got != 7 {
+		t.Errorf("scanLimit(7) = %d, want 7", got)
+	}
+	for _, limit := range []uint32{1 << 31, 1<<32 - 1} {
+		if got := scanLimit(limit); got <= 0 {
+			t.Errorf("scanLimit(%d) = %d, want > 0", limit, got)
+		}
+	}
+	// End-to-end: a huge limit must behave as a bound, not as unlimited
+	// disguised as negative — and must still return everything when the
+	// store is smaller than the limit.
+	s := New(Options{})
+	defer s.Close()
+	h := s.NewHandle(0)
+	for i := 0; i < 10; i++ {
+		h.Put(fmt.Sprintf("scl-%02d", i), []byte("v"))
+	}
+	resps := h.ExecBatch([]Request{{Op: OpScan, Key: "scl-", Limit: 1<<32 - 1}})
+	if len(resps[0].Entries) != 10 {
+		t.Errorf("scan with max limit returned %d entries, want 10", len(resps[0].Entries))
+	}
+	resps = h.ExecBatch([]Request{{Op: OpScan, Key: "scl-", Limit: 3}})
+	if len(resps[0].Entries) != 3 {
+		t.Errorf("scan with limit 3 returned %d entries, want 3", len(resps[0].Entries))
+	}
+}
+
+// BenchmarkWirePointOps is the tentpole's measurement: the point-op
+// path per engine, direct (handle) and over net.Pipe (wire), with
+// allocs/op reported. Direct get and put are allocation-free on the
+// mutate-in-place engines; the optimistic engine's put pays its
+// copy-on-write rebuild and nothing else.
+func BenchmarkWirePointOps(b *testing.B) {
+	val := make([]byte, 64)
+	for _, eng := range Engines {
+		s := New(Options{Engine: eng})
+		h := s.NewHandle(0)
+		keys := allocKeys(h, 4096, len(val))
+
+		b.Run(string(eng)+"/direct/get", func(b *testing.B) {
+			b.ReportAllocs()
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				dst, _ = h.GetAppend(keys[i%len(keys)], dst[:0])
+			}
+		})
+		b.Run(string(eng)+"/direct/put", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Put(keys[i%len(keys)], val)
+			}
+		})
+
+		c := NewServer(s, 1).PipeClient()
+		b.Run(string(eng)+"/wire/get", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.Get(keys[i%len(keys)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(string(eng)+"/wire/put", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Put(keys[i%len(keys)], val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		c.Close()
+		s.Close()
+	}
+}

@@ -465,7 +465,15 @@ func (c *AsyncClient) writeOne(f *Future) bool {
 // and verifies the echoed tag of every response.
 func (c *AsyncClient) readLoop() {
 	defer c.wg.Done()
-	var scratch []byte
+	// The frame-read scratch is pooled across clients; releasing it when
+	// the loop exits is safe because every parse path below copies all
+	// variable-length data out of the frame before the future resolves.
+	scratchp := framePool.Get().(*[]byte)
+	scratch := *scratchp
+	defer func() {
+		*scratchp = scratch[:0]
+		framePool.Put(scratchp)
+	}()
 	for {
 		body, err := ReadFrame(c.br, scratch)
 		if err != nil {

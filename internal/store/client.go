@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Client drives a Server over a byte stream (net.Conn, net.Pipe). It
@@ -20,17 +21,47 @@ type Client struct {
 	// request's encode buffer (and vice versa), which is only safe while
 	// every parse path copies out of the frame — an invariant too easy to
 	// break at a distance. TestClientNoBufferAliasing pins this down.
+	//
+	// Both come from clientScratch and go back at Close. Returning them
+	// is safe because every decode copies out of rbuf before the call
+	// returns (the same invariant), so no caller-visible value aliases a
+	// pooled buffer.
 	ebuf []byte // request encode scratch
 	rbuf []byte // response frame-read scratch
+	// Pool handles for ebuf/rbuf; nil once Close returned them, which
+	// makes a double Close (or a misbehaving post-Close call) unable to
+	// hand the same backing array out twice.
+	ebufp, rbufp *[]byte
 }
+
+// clientScratch pools lock-step clients' encode and read buffers, so a
+// dial-per-worker benchmark or a chain of short-lived connections does
+// not pay two fresh frame buffers per client.
+var clientScratch = sync.Pool{New: func() any { return new([]byte) }}
 
 // NewClient wraps an established connection.
 func NewClient(conn io.ReadWriteCloser) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	ep := clientScratch.Get().(*[]byte)
+	rp := clientScratch.Get().(*[]byte)
+	return &Client{
+		conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn),
+		ebuf: *ep, rbuf: *rp, ebufp: ep, rbufp: rp,
+	}
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection and releases the scratch
+// buffers; only the first Close releases them.
+func (c *Client) Close() error {
+	if c.ebufp != nil {
+		*c.ebufp = c.ebuf[:0]
+		clientScratch.Put(c.ebufp)
+		*c.rbufp = c.rbuf[:0]
+		clientScratch.Put(c.rbufp)
+		c.ebufp, c.rbufp = nil, nil
+		c.ebuf, c.rbuf = nil, nil
+	}
+	return c.conn.Close()
+}
 
 // roundTrip sends req and decodes the response.
 func (c *Client) roundTrip(req Request) (Response, error) {

@@ -63,6 +63,65 @@ func TestClientNoBufferAliasing(t *testing.T) {
 	}
 }
 
+// TestAsyncClientNoBufferAliasing extends the aliasing audit to the
+// multiplexed client, whose buffers churn through sync.Pools: request
+// bodies return to framePool the moment the writer copies them out, and
+// the read loop's frame scratch is recycled across clients. A future's
+// decoded value must survive all of that — including the client being
+// closed (scratch returned to the pool) while values are still
+// retained, and a second client immediately reusing the pooled buffers.
+func TestAsyncClientNoBufferAliasing(t *testing.T) {
+	s := New(Options{Shards: 2, Buckets: 8, Lock: locks.TICKET})
+	srv := NewServer(s, 1)
+	c := srv.PipeAsyncClient(8)
+
+	big := make([]byte, 128<<10)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	if _, err := c.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+
+	var retained [][]byte
+	for i := 0; i < 8; i++ {
+		// A window of big gets and small puts in flight together: the
+		// read scratch refills while earlier futures' values are held.
+		gets := []*Future{c.GetAsync("big"), c.GetAsync("big")}
+		small := fmt.Sprintf("async-small-%02d", i)
+		if _, err := c.Put(small, bytes.Repeat([]byte{byte(i + 1)}, 512)); err != nil {
+			t.Fatal(err)
+		}
+		sf := c.GetAsync(small)
+		for _, f := range gets {
+			resp, err := f.Wait()
+			if err != nil || resp.Status != StatusOK {
+				t.Fatalf("async Get(big) #%d: %+v, %v", i, resp, err)
+			}
+			retained = append(retained, resp.Value)
+		}
+		resp, err := sf.Wait()
+		if err != nil || len(resp.Value) != 512 || resp.Value[0] != byte(i+1) {
+			t.Fatalf("async Get(%s) = %d bytes, %v", small, len(resp.Value), err)
+		}
+	}
+	// Close returns the client's pooled scratch; a second client then
+	// stomps over whatever buffers the pool hands back out.
+	c.Close()
+	c2 := srv.PipeAsyncClient(8)
+	defer c2.Close()
+	for i := 0; i < 4; i++ {
+		if _, _, err := c2.Get("big"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range retained {
+		if !bytes.Equal(v, big) {
+			t.Fatalf("retained async value %d corrupted by pooled-buffer reuse", i)
+		}
+	}
+}
+
 // TestBatchEndToEnd drives the batch surface of all three connection
 // kinds — lock-step Client, LocalConn and AsyncClient — against one
 // store and expects identical semantics.

@@ -57,10 +57,17 @@ type shardEngine interface {
 // ops, per-shard group execution (the batch path's unit of
 // amortization), shard scans, and race-free counter snapshots. A
 // shardAccess must not be shared between goroutines.
+//
+// Point ops take a lookupKey — the zero-copy seam. The key may alias a
+// transient buffer (a wire frame); an engine must not retain its bytes
+// past the call, and the single copy an insert needs is taken with
+// lookupKey.str (copy-on-insert). get appends the value to the
+// caller-owned dst and returns the extended slice, so a steady-state
+// read allocates nothing anywhere in the engine.
 type shardAccess interface {
-	get(shard int, hash uint64, key string) ([]byte, bool)
-	put(shard int, hash uint64, key string, value []byte) bool
-	del(shard int, hash uint64, key string) bool
+	get(shard int, hash uint64, key lookupKey, dst []byte) ([]byte, bool)
+	put(shard int, hash uint64, key lookupKey, value []byte) bool
+	del(shard int, hash uint64, key lookupKey) bool
 	// execGroup executes the point ops reqs[i] for i in idxs — all
 	// mapping to shard — in one engine visit, writing resps[i].
 	execGroup(shard int, reqs []Request, hashes []uint64, idxs []int, resps []Response)

@@ -48,12 +48,17 @@ const (
 
 // actorMsg is one mailbox message. For actGroup the slices are shared
 // with the sender, which is safe: the channel send/receive pair orders
-// the owner's writes to resps before the sender's read of them.
+// the owner's writes to resps before the sender's read of them. The
+// same happens-before pair is what makes the zero-copy fields sound:
+// key and value may alias the sender's frame buffer (the sender blocks
+// until the reply, so the buffer cannot be reused mid-handle), and the
+// owner appends a get's value into the sender-owned dst.
 type actorMsg struct {
 	kind   actorKind
 	hash   uint64
-	key    string
+	key    lookupKey
 	value  []byte
+	dst    []byte // actGet: value destination, owned by the sender
 	reqs   []Request
 	hashes []uint64
 	idxs   []int
@@ -122,15 +127,16 @@ func (e *actorEngine) handle(tbl *shardTable, m actorMsg) {
 	var r actorReply
 	switch m.kind {
 	case actGet:
-		r.val, r.ok = tbl.get(m.hash, m.key)
+		r.val, r.ok = tbl.get(m.hash, m.key, m.dst)
 	case actPut:
 		r.ok = tbl.put(m.hash, m.key, m.value)
 	case actDel:
 		r.ok = tbl.del(m.hash, m.key)
 	case actGroup:
-		execPointOps(m.reqs, m.hashes, m.idxs, m.resps, tbl.get, tbl.put, tbl.del)
+		get, put, del := tableOps(tbl)
+		execPointOps(m.reqs, m.hashes, m.idxs, m.resps, get, put, del)
 	case actScan:
-		r.out = tbl.scan(m.key, m.out)
+		r.out = tbl.scan(m.key.s, m.out)
 	case actExport:
 		r.n, r.out = tbl.export(m.from, m.pred, m.maxn, m.maxBytes, m.out)
 	case actEntries:
@@ -192,16 +198,22 @@ func (a *actorAccess) call(shard int, m actorMsg) actorReply {
 	}
 }
 
-func (a *actorAccess) get(shard int, hash uint64, key string) ([]byte, bool) {
-	r := a.call(shard, actorMsg{kind: actGet, hash: hash, key: key})
+// get ships the caller's dst through the mailbox; the owner appends the
+// value into it. A zero reply (engine closed mid-call) must still hand
+// dst back unchanged, not lose it to a nil r.val.
+func (a *actorAccess) get(shard int, hash uint64, key lookupKey, dst []byte) ([]byte, bool) {
+	r := a.call(shard, actorMsg{kind: actGet, hash: hash, key: key, dst: dst})
+	if !r.ok && r.val == nil {
+		return dst, false
+	}
 	return r.val, r.ok
 }
 
-func (a *actorAccess) put(shard int, hash uint64, key string, value []byte) bool {
+func (a *actorAccess) put(shard int, hash uint64, key lookupKey, value []byte) bool {
 	return a.call(shard, actorMsg{kind: actPut, hash: hash, key: key, value: value}).ok
 }
 
-func (a *actorAccess) del(shard int, hash uint64, key string) bool {
+func (a *actorAccess) del(shard int, hash uint64, key lookupKey) bool {
 	return a.call(shard, actorMsg{kind: actDel, hash: hash, key: key}).ok
 }
 
@@ -213,7 +225,7 @@ func (a *actorAccess) execGroup(shard int, reqs []Request, hashes []uint64, idxs
 }
 
 func (a *actorAccess) scanShard(shard int, prefix string, out []Entry) []Entry {
-	return a.call(shard, actorMsg{kind: actScan, key: prefix, out: out}).out
+	return a.call(shard, actorMsg{kind: actScan, key: keyOf(prefix), out: out}).out
 }
 
 // exportShard ships the walk as one message like everything else. A

@@ -51,19 +51,19 @@ func (a *lockedAccess) lock(i int) {
 
 func (a *lockedAccess) unlock(i int) { a.e.guards[i].Release(a.toks[i]) }
 
-func (a *lockedAccess) get(shard int, hash uint64, key string) ([]byte, bool) {
+func (a *lockedAccess) get(shard int, hash uint64, key lookupKey, dst []byte) ([]byte, bool) {
 	a.lock(shard)
 	defer a.unlock(shard)
-	return a.e.shards[shard].get(hash, key)
+	return a.e.shards[shard].get(hash, key, dst)
 }
 
-func (a *lockedAccess) put(shard int, hash uint64, key string, value []byte) bool {
+func (a *lockedAccess) put(shard int, hash uint64, key lookupKey, value []byte) bool {
 	a.lock(shard)
 	defer a.unlock(shard)
 	return a.e.shards[shard].put(hash, key, value)
 }
 
-func (a *lockedAccess) del(shard int, hash uint64, key string) bool {
+func (a *lockedAccess) del(shard int, hash uint64, key lookupKey) bool {
 	a.lock(shard)
 	defer a.unlock(shard)
 	return a.e.shards[shard].del(hash, key)
@@ -74,8 +74,8 @@ func (a *lockedAccess) del(shard int, hash uint64, key string) bool {
 func (a *lockedAccess) execGroup(shard int, reqs []Request, hashes []uint64, idxs []int, resps []Response) {
 	a.lock(shard)
 	defer a.unlock(shard)
-	sh := &a.e.shards[shard]
-	execPointOps(reqs, hashes, idxs, resps, sh.get, sh.put, sh.del)
+	get, put, del := tableOps(&a.e.shards[shard])
+	execPointOps(reqs, hashes, idxs, resps, get, put, del)
 }
 
 func (a *lockedAccess) scanShard(shard int, prefix string, out []Entry) []Entry {

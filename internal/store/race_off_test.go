@@ -1,0 +1,8 @@
+//go:build !race
+
+package store
+
+// raceEnabled reports whether the race detector instruments this build;
+// the alloc-regression tests skip under it (instrumentation perturbs
+// allocation counts without saying anything about the real hot path).
+const raceEnabled = false

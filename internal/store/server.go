@@ -7,8 +7,17 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 )
+
+// connScratch pools the per-connection frame buffers (read body and
+// response encode). A buffer's ownership rule is strict: it belongs to
+// exactly one connection between Get and Put, and nothing a request
+// handler produces may alias it past the response write — engines copy
+// on insert, parse paths copy out, and the owning Request exists for
+// anything (routing, migration) that must outlive the frame.
+var connScratch = sync.Pool{New: func() any { return new([]byte) }}
 
 // Server serves the wire protocol over byte streams. One goroutine per
 // connection owns a Handle, so every lock token stays goroutine-local;
@@ -81,7 +90,15 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 	h := sv.store.NewHandle(node)
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
-	var in, out []byte
+	inp := connScratch.Get().(*[]byte)
+	outp := connScratch.Get().(*[]byte)
+	in, out := *inp, *outp
+	defer func() {
+		*inp = in[:0]
+		connScratch.Put(inp)
+		*outp = out[:0]
+		connScratch.Put(outp)
+	}()
 	for {
 		body, err := ReadFrame(br, in)
 		if err != nil {
@@ -124,19 +141,23 @@ func (sv *Server) ServeConn(conn io.ReadWriter) error {
 				return err
 			}
 		} else {
-			req, err := ParseRequest(inner)
+			view, err := ParseRequestView(inner)
 			if err != nil {
 				return sv.reject(bw, out, err) // out keeps the echoed tag
 			}
-			// len(out) is the tag overhead (0 or 4): a scan trimmed to
-			// MaxFrame must still fit after the tag is prepended.
-			var resp Response
-			if sv.router != nil && req.Op != OpScan && req.Op >= OpGet && req.Op <= OpDelete {
-				resp = sv.router.Route(h, req, 0)
+			if sv.router != nil && view.Op >= OpGet && view.Op <= OpDelete {
+				// Routing may carry the op beyond this frame's lifetime
+				// (forwarding to another node), so it gets an owning
+				// Request — the same copies ParseRequest would have made.
+				req := Request{Op: view.Op, Key: string(view.Key)}
+				if view.Op == OpPut {
+					req.Value = append([]byte(nil), view.Value...)
+				}
+				resp := sv.router.Route(h, req, 0)
+				out, err = AppendResponse(out, req.Op, resp)
 			} else {
-				resp = sv.execute(h, req, len(out))
+				out, err = sv.executeView(h, view, out)
 			}
-			out, err = AppendResponse(out, req.Op, resp)
 			if err != nil {
 				return err
 			}
@@ -219,30 +240,46 @@ func (sv *Server) pipeConn() net.Conn {
 	return clientEnd
 }
 
-// execute runs one parsed request against the handle. overhead is the
-// frame bytes already spoken for outside the response body (the tag).
-func (sv *Server) execute(h *Handle, req Request, overhead int) Response {
+// executeView runs one zero-copy scalar request against the handle,
+// encoding the response directly onto out (which already carries the
+// echoed tag; its length is the overhead a trimmed scan must respect).
+// For get/put/delete nothing on this path allocates in steady state:
+// the key stays a frame-aliasing byte slice all the way into the
+// engine, and a get's value is appended by the engine straight into
+// the response buffer behind a status byte and length placeholder.
+func (sv *Server) executeView(h *Handle, req RequestView, out []byte) ([]byte, error) {
 	switch req.Op {
 	case OpGet:
-		v, ok := h.Get(req.Key)
+		mark := len(out)
+		out = append(out, StatusOK, 0, 0, 0, 0)
+		ext, ok := h.GetBytes(req.Key, out)
 		if !ok {
-			return Response{Status: StatusNotFound}
+			return append(ext[:mark], StatusNotFound), nil
 		}
-		return Response{Status: StatusOK, Value: v}
+		n := len(ext) - mark - 5
+		if n > MaxValueLen {
+			// Matches AppendResponse's bound for values stored through a
+			// direct handle, which the wire's parse limit never saw.
+			return out, ErrValueTooLong
+		}
+		binary.BigEndian.PutUint32(ext[mark+1:mark+5], uint32(n))
+		return ext, nil
 	case OpPut:
-		created := h.Put(req.Key, req.Value)
-		return Response{Status: StatusOK, Created: created}
-	case OpDelete:
-		if !h.Delete(req.Key) {
-			return Response{Status: StatusNotFound}
+		created := byte(0)
+		if h.PutBytes(req.Key, req.Value) {
+			created = 1
 		}
-		return Response{Status: StatusOK}
+		return append(out, StatusOK, created), nil
+	case OpDelete:
+		if h.DeleteBytes(req.Key) {
+			return append(out, StatusOK), nil
+		}
+		return append(out, StatusNotFound), nil
 	case OpScan:
-		limit := int(req.Limit)
-		entries := h.Scan(req.Key, limit)
-		return Response{Status: StatusOK, Entries: trimToFrame(entries, overhead)}
+		entries := h.Scan(string(req.Key), scanLimit(req.Limit))
+		return AppendResponse(out, OpScan, Response{Status: StatusOK, Entries: trimToFrame(entries, len(out))})
 	}
-	return Response{Status: StatusError, Msg: ErrBadOp.Error()}
+	return AppendResponse(out, req.Op, Response{Status: StatusError, Msg: ErrBadOp.Error()})
 }
 
 // executeMigrate serves the migration frames. EXPORT, DIGEST and APPLY

@@ -20,11 +20,69 @@ package store
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ssync/internal/hashkit"
 	"ssync/internal/locks"
 )
+
+// lookupKey is the engines' dual-representation key: exactly one of s
+// and b is set. The direct API hands engines string keys; the wire
+// server hands them byte slices that alias the request frame — the
+// zero-copy seam that keeps the point-op path allocation-free. Both
+// representations compare against stored string keys without
+// converting (the compiler lowers string(b) == s to a length check
+// plus memequal), and str() makes the single copy an insert is allowed
+// to take: copy-on-insert is the only place a frame-aliasing key may
+// outlive its frame.
+type lookupKey struct {
+	s string
+	b []byte
+}
+
+// keyOf wraps a string key.
+func keyOf(s string) lookupKey { return lookupKey{s: s} }
+
+// keyBytes wraps a byte-slice key that may alias a transient buffer.
+// The engines promise not to retain k.b past the call.
+func keyBytes(b []byte) lookupKey { return lookupKey{b: b} }
+
+// eq compares against a stored key without allocating.
+func (k lookupKey) eq(s string) bool {
+	if k.b != nil {
+		return string(k.b) == s
+	}
+	return k.s == s
+}
+
+// str returns an owning string — the copy-on-insert point for
+// frame-aliasing keys, free for string keys.
+func (k lookupKey) str() string {
+	if k.b != nil {
+		return string(k.b)
+	}
+	return k.s
+}
+
+// hash is FNV-1a over the key bytes, identical for both representations.
+func (k lookupKey) hash() uint64 {
+	if k.b != nil {
+		return hashkit.FNV1aBytes(k.b)
+	}
+	return hashkit.FNV1a(k.s)
+}
+
+// scanLimit converts a wire scan Limit (uint32, 0 = unlimited) to the
+// int Scan takes. On 32-bit platforms int(limit) wraps negative for
+// limits >= 2^31, which Scan would read as "unlimited" — the opposite
+// of what the client asked for. Clamp to MaxInt32 instead.
+func scanLimit(limit uint32) int {
+	if n := int(limit); n >= 0 {
+		return n
+	}
+	return math.MaxInt32
+}
 
 // segCap is the number of entries per bucket segment; segments chain when
 // a bucket overflows. Hashes are packed together, separate from keys and
@@ -84,22 +142,26 @@ func (sh *shardTable) bucketOf(hash uint64) *segment {
 	return &sh.buckets[hashkit.Bucket(hash, uint64(len(sh.buckets)))]
 }
 
-// get returns a copy of the value stored under key.
-func (sh *shardTable) get(hash uint64, key string) ([]byte, bool) {
+// get appends a copy of the value stored under key to dst and returns
+// the extended slice (pass nil for a fresh copy). Appending into a
+// caller-owned buffer is what lets the wire path encode a response
+// without an intermediate value allocation.
+func (sh *shardTable) get(hash uint64, key lookupKey, dst []byte) ([]byte, bool) {
 	sh.ops.Gets++
 	for seg := sh.bucketOf(hash); seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
-			if seg.used[j] && seg.hashes[j] == hash && seg.keys[j] == key {
-				return append([]byte(nil), seg.vals[j]...), true
+			if seg.used[j] && seg.hashes[j] == hash && key.eq(seg.keys[j]) {
+				return append(dst, seg.vals[j]...), true
 			}
 		}
 	}
-	return nil, false
+	return dst, false
 }
 
 // put inserts or replaces; it reports whether the key was newly inserted.
-// The value is copied.
-func (sh *shardTable) put(hash uint64, key string, value []byte) bool {
+// The value is copied; a replace reuses the stored value's backing array
+// when it is large enough, so steady-state overwrites allocate nothing.
+func (sh *shardTable) put(hash uint64, key lookupKey, value []byte) bool {
 	sh.ops.Puts++
 	var freeSeg *segment
 	freeIdx := -1
@@ -107,7 +169,7 @@ func (sh *shardTable) put(hash uint64, key string, value []byte) bool {
 	for seg := sh.bucketOf(hash); seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
 			if seg.used[j] {
-				if seg.hashes[j] == hash && seg.keys[j] == key {
+				if seg.hashes[j] == hash && key.eq(seg.keys[j]) {
 					seg.vals[j] = append(seg.vals[j][:0], value...)
 					return false
 				}
@@ -123,7 +185,7 @@ func (sh *shardTable) put(hash uint64, key string, value []byte) bool {
 		freeSeg, freeIdx = seg, 0
 	}
 	freeSeg.hashes[freeIdx] = hash
-	freeSeg.keys[freeIdx] = key
+	freeSeg.keys[freeIdx] = key.str()
 	freeSeg.vals[freeIdx] = append([]byte(nil), value...)
 	freeSeg.used[freeIdx] = true
 	sh.entries++
@@ -131,11 +193,11 @@ func (sh *shardTable) put(hash uint64, key string, value []byte) bool {
 }
 
 // del removes key; it reports whether the key was present.
-func (sh *shardTable) del(hash uint64, key string) bool {
+func (sh *shardTable) del(hash uint64, key lookupKey) bool {
 	sh.ops.Deletes++
 	for seg := sh.bucketOf(hash); seg != nil; seg = seg.next {
 		for j := 0; j < segCap; j++ {
-			if seg.used[j] && seg.hashes[j] == hash && seg.keys[j] == key {
+			if seg.used[j] && seg.hashes[j] == hash && key.eq(seg.keys[j]) {
 				seg.used[j] = false
 				seg.keys[j] = ""
 				seg.vals[j] = nil
@@ -301,21 +363,59 @@ func (s *Store) shardOf(hash uint64) int { return int(hash % uint64(s.opt.Shards
 
 // Get returns a copy of the value stored under key.
 func (h *Handle) Get(key string) ([]byte, bool) {
-	hash := hashKey(key)
-	return h.acc.get(h.s.shardOf(hash), hash, key)
+	v, ok := h.getKey(keyOf(key), nil)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// GetAppend appends the value stored under key to dst, returning the
+// extended slice and whether the key was present (dst is returned
+// unchanged when it is not). This is the allocation-free read: with a
+// reused dst of sufficient capacity, a hit copies the value exactly
+// once, into memory the caller owns.
+func (h *Handle) GetAppend(key string, dst []byte) ([]byte, bool) {
+	return h.getKey(keyOf(key), dst)
+}
+
+// GetBytes is GetAppend for a byte-slice key that may alias a transient
+// buffer (a wire frame); the engines do not retain it.
+func (h *Handle) GetBytes(key, dst []byte) ([]byte, bool) {
+	return h.getKey(keyBytes(key), dst)
+}
+
+// PutBytes is Put for a frame-aliasing key: the key is copied only if
+// the insert actually needs to store it, the value is always copied.
+func (h *Handle) PutBytes(key, value []byte) bool {
+	k := keyBytes(key)
+	hash := k.hash()
+	return h.acc.put(h.s.shardOf(hash), hash, k, value)
+}
+
+// DeleteBytes is Delete for a frame-aliasing key.
+func (h *Handle) DeleteBytes(key []byte) bool {
+	k := keyBytes(key)
+	hash := k.hash()
+	return h.acc.del(h.s.shardOf(hash), hash, k)
+}
+
+func (h *Handle) getKey(k lookupKey, dst []byte) ([]byte, bool) {
+	hash := k.hash()
+	return h.acc.get(h.s.shardOf(hash), hash, k, dst)
 }
 
 // Put inserts or replaces the value under key; it reports whether the key
 // was newly inserted. The value is copied.
 func (h *Handle) Put(key string, value []byte) bool {
 	hash := hashKey(key)
-	return h.acc.put(h.s.shardOf(hash), hash, key, value)
+	return h.acc.put(h.s.shardOf(hash), hash, keyOf(key), value)
 }
 
 // Delete removes key; it reports whether the key was present.
 func (h *Handle) Delete(key string) bool {
 	hash := hashKey(key)
-	return h.acc.del(h.s.shardOf(hash), hash, key)
+	return h.acc.del(h.s.shardOf(hash), hash, keyOf(key))
 }
 
 // ExecBatch executes a batch of scalar requests, amortizing
@@ -362,11 +462,30 @@ func (h *Handle) ExecBatch(reqs []Request) []Response {
 	if scans {
 		for i, r := range reqs {
 			if r.Op == OpScan {
-				resps[i] = Response{Status: StatusOK, Entries: h.Scan(r.Key, int(r.Limit))}
+				resps[i] = Response{Status: StatusOK, Entries: h.Scan(r.Key, scanLimit(r.Limit))}
 			}
 		}
 	}
 	return resps
+}
+
+// tableOps adapts a shardTable to execPointOps' string-keyed accessors
+// (batch sub-requests are owning Requests, so their keys are already
+// strings; the zero-copy seam is the scalar path's concern).
+func tableOps(sh *shardTable) (
+	get func(hash uint64, key string) ([]byte, bool),
+	put func(hash uint64, key string, value []byte) bool,
+	del func(hash uint64, key string) bool) {
+	get = func(hash uint64, key string) ([]byte, bool) {
+		v, ok := sh.get(hash, keyOf(key), nil)
+		if !ok {
+			return nil, false
+		}
+		return v, true
+	}
+	put = func(hash uint64, key string, value []byte) bool { return sh.put(hash, keyOf(key), value) }
+	del = func(hash uint64, key string) bool { return sh.del(hash, keyOf(key)) }
+	return get, put, del
 }
 
 // execPointOps runs a point-op group through the given accessors and

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -86,10 +87,17 @@ type Response struct {
 	Msg     string  // StatusError detail
 }
 
-// WriteFrame writes one length-prefixed frame.
+// WriteFrame writes one length-prefixed frame. A *bufio.Writer takes
+// the specialized path: byte-at-a-time header writes into the
+// already-buffered stream, because a stack hdr array passed through the
+// io.Writer interface escapes — one heap allocation per frame on
+// exactly the path the pooling work flattened.
 func WriteFrame(w io.Writer, body []byte) error {
 	if len(body) > MaxFrame {
 		return ErrFrameTooLarge
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		return writeFrameBuf(bw, body)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -100,13 +108,43 @@ func WriteFrame(w io.Writer, body []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame body, reusing buf when it is large enough.
-func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// writeFrameBuf is WriteFrame's allocation-free form for buffered
+// writers (length already validated).
+func writeFrameBuf(bw *bufio.Writer, body []byte) error {
+	n := uint32(len(body))
+	bw.WriteByte(byte(n >> 24))
+	bw.WriteByte(byte(n >> 16))
+	bw.WriteByte(byte(n >> 8))
+	if err := bw.WriteByte(byte(n)); err != nil {
+		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	_, err := bw.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame body, reusing buf when it is large enough.
+// Like WriteFrame, a *bufio.Reader reads the header without the escape
+// allocation of a stack array passed through io.Reader.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var n uint32
+	if br, ok := r.(*bufio.Reader); ok {
+		for i := 0; i < 4; i++ {
+			b, err := br.ReadByte()
+			if err != nil {
+				if i > 0 && err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+			n = n<<8 | uint32(b)
+		}
+	} else {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n = binary.BigEndian.Uint32(hdr[:])
+	}
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
@@ -144,8 +182,33 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 	return dst, nil
 }
 
-// ParseRequest decodes one request body. It rejects unknown opcodes,
-// truncated bodies, oversized fields and trailing garbage.
+// RequestView is a zero-copy decoded scalar request: Key and Value
+// alias the frame body they were parsed from, so a view is only valid
+// until that buffer is reused or returned to a pool. It is the server
+// hot path's decode shape — the owning Request (string key, copied
+// value) exists for everything that must outlive the frame: batch
+// sub-requests, router forwarding, migration payloads.
+type RequestView struct {
+	Op    byte
+	Key   []byte // aliases the frame; the scan prefix for OpScan
+	Value []byte // aliases the frame; OpPut only
+	Limit uint32 // OpScan only; 0 = unlimited
+}
+
+// ParseRequestView decodes one request body without copying key or
+// value, with exactly ParseRequest's validation.
+func ParseRequestView(body []byte) (RequestView, error) {
+	p := parser{buf: body}
+	v := p.requestView()
+	if err := p.finish(); err != nil {
+		return RequestView{}, err
+	}
+	return v, nil
+}
+
+// ParseRequest decodes one request body into an owning Request. It
+// rejects unknown opcodes, truncated bodies, oversized fields and
+// trailing garbage.
 func ParseRequest(body []byte) (Request, error) {
 	p := parser{buf: body}
 	req := p.request()
@@ -155,25 +218,34 @@ func ParseRequest(body []byte) (Request, error) {
 	return req, nil
 }
 
-// request decodes one scalar request at the cursor (the encoding is
-// self-delimiting, so batch bodies concatenate these).
-func (p *parser) request() Request {
-	var req Request
-	req.Op = p.u8()
-	key := p.bytes16()
-	switch req.Op {
+// requestView decodes one scalar request at the cursor (the encoding is
+// self-delimiting, so batch bodies concatenate these) with key and
+// value aliasing the parsed buffer.
+func (p *parser) requestView() RequestView {
+	var v RequestView
+	v.Op = p.u8()
+	v.Key = p.bytes16()
+	switch v.Op {
 	case OpGet, OpDelete:
 	case OpPut:
-		val := p.bytes32(MaxValueLen)
-		req.Value = append([]byte(nil), val...)
+		v.Value = p.bytes32(MaxValueLen)
 	case OpScan:
-		req.Limit = p.u32()
+		v.Limit = p.u32()
 	default:
 		if p.err == nil {
 			p.err = ErrBadOp
 		}
 	}
-	req.Key = string(key)
+	return v
+}
+
+// request is requestView plus the copies that make the result owning.
+func (p *parser) request() Request {
+	v := p.requestView()
+	req := Request{Op: v.Op, Key: string(v.Key), Limit: v.Limit}
+	if v.Op == OpPut {
+		req.Value = append([]byte(nil), v.Value...)
+	}
 	return req
 }
 
@@ -260,12 +332,7 @@ func (p *parser) response(op byte) Response {
 			}
 		case OpDelete:
 		case OpScan:
-			n := p.u32()
-			for i := uint32(0); i < n && p.err == nil; i++ {
-				k := string(p.bytes16())
-				v := append([]byte(nil), p.bytes32(MaxValueLen)...)
-				resp.Entries = append(resp.Entries, Entry{Key: k, Value: v})
-			}
+			resp.Entries = p.scanEntries()
 		default:
 			if p.err == nil {
 				p.err = ErrBadOp
@@ -277,6 +344,46 @@ func (p *parser) response(op byte) Response {
 		}
 	}
 	return resp
+}
+
+// scanEntries decodes a scan response's entry list. Instead of one
+// string and one slice allocation per entry, the remaining body is
+// copied out twice up front — once as the backing string for every key,
+// once as the backing array for every value — and the entries point
+// into those two blobs. Result slices therefore share backing storage:
+// retaining any single entry pins roughly the whole response, which is
+// the right trade for scan results that are consumed and dropped.
+func (p *parser) scanEntries() []Entry {
+	n := p.u32()
+	if p.err != nil || n == 0 {
+		return nil
+	}
+	rest := p.buf[p.off:]
+	base := p.off
+	keyBlob := string(rest)
+	valBlob := append([]byte(nil), rest...)
+	// Each entry occupies at least its 6 header bytes; cap the
+	// preallocation by that so a lying count cannot allocate unboundedly.
+	hint := int(n)
+	if max := len(rest)/6 + 1; hint > max {
+		hint = max
+	}
+	entries := make([]Entry, 0, hint)
+	for i := uint32(0); i < n && p.err == nil; i++ {
+		k := p.bytes16()
+		v := p.bytes32(MaxValueLen)
+		if p.err != nil {
+			break
+		}
+		kStart := p.off - len(v) - 4 - len(k) - base
+		e := Entry{Key: keyBlob[kStart : kStart+len(k)]}
+		if len(v) > 0 {
+			vStart := p.off - len(v) - base
+			e.Value = valBlob[vStart : vStart+len(v) : vStart+len(v)]
+		}
+		entries = append(entries, e)
+	}
+	return entries
 }
 
 // parser is a cursor over a message body; the first failure sticks and
