@@ -9,6 +9,7 @@ import (
 	"ssync/internal/cluster"
 	"ssync/internal/harness"
 	"ssync/internal/store"
+	"ssync/internal/topo"
 	"ssync/internal/workload"
 )
 
@@ -38,6 +39,7 @@ func ClusterMain(argv []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 0, "workload RNG seed (0 = fixed default)")
 	batch := fs.Int("batch", 4, "ops per routed op group (1 = scalar ops)")
 	pipeline := fs.Int("pipeline", 8, "op groups each client keeps in flight (1 = lock-step)")
+	placeSpec := fs.String("place", "none", "shard placement per node over the host topology (none, compact, scatter, auto); nodes stripe across the host's memory nodes")
 	resize := fs.Bool("resize", false, "measure a live resize (grow then shrink) under load instead of the throughput scenario")
 	window := fs.Duration("window", 300*time.Millisecond, "with -resize: steady and post-resize measurement window")
 	jsonOut := fs.Bool("json", false, "emit JSON")
@@ -81,6 +83,14 @@ func ClusterMain(argv []string, stdout, stderr io.Writer) int {
 		format = "csv"
 	}
 	emitter, _ := harness.EmitterFor(format)
+	policy, err := topo.ParsePolicy(*placeSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssync cluster:", err)
+		return 2
+	}
+	if policy.Pins() {
+		fmt.Fprintf(stderr, "placement: %s, nodes striped over %s\n", policy, topo.Discover())
+	}
 	if *preload < 0 {
 		*preload = int(*keys / 2)
 	}
@@ -166,7 +176,7 @@ func ClusterMain(argv []string, stdout, stderr io.Writer) int {
 	// client, runs the scenario and returns the phase results plus the
 	// per-node operation-count deltas over the measured window.
 	runOne := func(n int) ([]workload.PhaseResult, []uint64, time.Duration, error) {
-		c := cluster.New(cluster.Options{Nodes: n, Vnodes: *vnodes, Store: storeOpt})
+		c := cluster.New(cluster.Options{Nodes: n, Vnodes: *vnodes, Store: storeOpt, Place: policy})
 		defer c.Close()
 		dial := func(int) (workload.Conn, error) {
 			return store.Driver{C: c.Dial(*pipeline)}, nil

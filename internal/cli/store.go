@@ -11,6 +11,7 @@ import (
 	"ssync/internal/locks"
 	"ssync/internal/stats"
 	"ssync/internal/store"
+	"ssync/internal/topo"
 	"ssync/internal/workload"
 )
 
@@ -38,6 +39,7 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	preload := fs.Int("preload", -1, "keys preloaded before the run (-1 = half the key space)")
 	seed := fs.Uint64("seed", 0, "workload RNG seed (0 = fixed default)")
 	local := fs.Bool("local", false, "drive in-process handles instead of the wire protocol")
+	placeSpec := fs.String("place", "none", "shard placement over the host topology (none, compact, scatter, auto)")
 	batch := fs.Int("batch", 1, "ops per multi-op request (1 = scalar ops)")
 	pipeline := fs.Int("pipeline", 1, "op groups each client keeps in flight (1 = lock-step)")
 	jsonOut := fs.Bool("json", false, "emit JSON")
@@ -98,11 +100,23 @@ func StoreMain(argv []string, stdout, stderr io.Writer) int {
 	}
 	pipelined := !*local && (*batch > 1 || *pipeline > 1)
 
+	policy, err := topo.ParsePolicy(*placeSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "ssync store:", err)
+		return 2
+	}
+	var placement *topo.Placement
+	if policy.Pins() {
+		placement = topo.NewPlacement(policy, nil) // nil: discover the host
+		fmt.Fprintf(stderr, "placement: %s over %s\n", policy, placement.Topo)
+	}
+
 	opt := store.Options{
 		Shards:     *shards,
 		Buckets:    *buckets,
 		Lock:       algorithm,
 		MaxThreads: *clients + 2,
+		Placement:  placement,
 	}
 	scenario := workload.Scenario{
 		Dist:      dist,

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"ssync/internal/arch"
+	"ssync/internal/store"
+	"ssync/internal/topo"
+)
+
+// TestClusterStripesMemoryNodes: co-located members must partition the
+// machine — on an 8-node Opteron model, members 0..3 place their shards
+// over memory nodes 0..3 respectively, with no overlap in domains.
+func TestClusterStripesMemoryNodes(t *testing.T) {
+	machine := topo.FromPlatform(arch.Opteron())
+	c := New(Options{Nodes: 4, Place: topo.PolicyCompact, Topo: machine,
+		Store: store.Options{Shards: 8, Buckets: 4}})
+	defer c.Close()
+	used := map[int]int{} // domain → member using it
+	for i := 0; i < 4; i++ {
+		pl := c.Store(i).Placement()
+		if pl == nil {
+			t.Fatalf("member %d: no placement", i)
+		}
+		for sh := 0; sh < 8; sh++ {
+			d := c.Store(i).ShardDomain(sh)
+			if machine.Domains[d].Node != i {
+				t.Fatalf("member %d shard %d in domain %d (memory node %d)",
+					i, sh, d, machine.Domains[d].Node)
+			}
+			if owner, ok := used[d]; ok && owner != i {
+				t.Fatalf("domain %d shared by members %d and %d", d, owner, i)
+			}
+			used[d] = i
+		}
+	}
+}
+
+// TestClusterPlacementElastic: a member added after startup stripes by
+// the same rule, and the placed cluster still serves correctly through
+// a routed client across the resize.
+func TestClusterPlacementElastic(t *testing.T) {
+	machine := topo.FromPlatform(arch.Opteron2()) // 2 memory nodes
+	c := New(Options{Nodes: 2, Place: topo.PolicyCompact, Topo: machine,
+		Store: store.Options{Shards: 4, Buckets: 8}})
+	defer c.Close()
+	cl := c.Dial(4)
+	defer cl.Close()
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("pk-%03d", i)
+		if _, err := cl.Put(key, []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := c.Store(id).Placement()
+	if pl == nil {
+		t.Fatalf("added member %d: no placement", id)
+	}
+	// Node 2 on a 2-memory-node machine wraps onto memory node 0.
+	if d := c.Store(id).ShardDomain(0); machine.Domains[d].Node != id%machine.Nodes {
+		t.Fatalf("added member %d placed on memory node %d", id, machine.Domains[d].Node)
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("pk-%03d", i)
+		v, ok, err := cl.Get(key)
+		if err != nil || !ok || string(v) != key {
+			t.Fatalf("after resize: get %s = %q %v %v", key, v, ok, err)
+		}
+	}
+}
+
+// TestClusterNoPlacementByDefault: Place unset must leave member stores
+// without a placement, whatever Topo says.
+func TestClusterNoPlacementByDefault(t *testing.T) {
+	c := New(Options{Nodes: 2, Topo: topo.FromPlatform(arch.Xeon2()),
+		Store: store.Options{Shards: 4}})
+	defer c.Close()
+	if pl := c.Store(0).Placement(); pl != nil {
+		t.Fatalf("unexpected placement %v", pl)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ssync/internal/locks"
 	"ssync/internal/stats"
 	"ssync/internal/store"
+	"ssync/internal/topo"
 	"ssync/internal/workload"
 )
 
@@ -39,10 +40,15 @@ const BenchSchema = "ssync-bench/v1"
 const BenchSeed = 0xb5eed
 
 // Pinned sweep axes: every engine, single node vs a routed 4-node
-// ring, balanced vs skewed keys.
+// ring, balanced vs skewed keys, unplaced vs compact shard placement
+// over the discovered host. On a single-domain host the compact rows
+// honestly record parity (placement no-ops); on multi-domain hardware
+// they record what locality placement buys — either way the trajectory
+// carries the placement column from PR 9 on.
 var (
-	benchNodes = []int{1, 4}
-	benchDists = []string{"uniform", "zipfian"}
+	benchNodes  = []int{1, 4}
+	benchDists  = []string{"uniform", "zipfian"}
+	benchPlaces = []string{"none", "compact"}
 )
 
 // BenchConfig shapes one sweep invocation.
@@ -61,17 +67,29 @@ type BenchConfig struct {
 // repetitions, rounded to stable precision (Kops to 1 decimal, allocs
 // to 2) so the committed file diffs cleanly.
 type BenchRow struct {
-	Engine      string  `json:"engine"`
-	Nodes       int     `json:"nodes"`
-	Dist        string  `json:"dist"`
+	Engine string `json:"engine"`
+	Nodes  int    `json:"nodes"`
+	Dist   string `json:"dist"`
+	// Place is the shard-placement policy the cell ran under; "" (old
+	// references) and "none" are the same unplaced cell.
+	Place       string  `json:"place,omitempty"`
 	Kops        float64 `json:"kops"`
 	KopsMAD     float64 `json:"kops_mad"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	AllocsMAD   float64 `json:"allocs_mad"`
 }
 
-// key identifies a row within a file for cross-file matching.
-func (r BenchRow) key() string { return fmt.Sprintf("%s/%dn/%s", r.Engine, r.Nodes, r.Dist) }
+// key identifies a row within a file for cross-file matching. Unplaced
+// rows keep the pre-placement key shape, so a reference emitted before
+// the placement axis existed still gates the unplaced half of a fresh
+// sweep.
+func (r BenchRow) key() string {
+	k := fmt.Sprintf("%s/%dn/%s", r.Engine, r.Nodes, r.Dist)
+	if r.Place != "" && r.Place != "none" {
+		k += "/place=" + r.Place
+	}
+	return k
+}
 
 // BenchFile is the committed reference: a self-describing header (the
 // exact run configuration, so a checker can reproduce it from the file
@@ -85,6 +103,7 @@ type BenchFile struct {
 	Engines []string   `json:"engines"`
 	Nodes   []int      `json:"nodes"`
 	Dists   []string   `json:"dists"`
+	Places  []string   `json:"places,omitempty"`
 	Rows    []BenchRow `json:"rows"`
 }
 
@@ -116,6 +135,7 @@ func RunBench(cfg BenchConfig) (*BenchFile, error) {
 		Short:  cfg.Short,
 		Nodes:  benchNodes,
 		Dists:  benchDists,
+		Places: benchPlaces,
 	}
 	for _, eng := range store.Engines {
 		f.Engines = append(f.Engines, string(eng))
@@ -124,36 +144,52 @@ func RunBench(cfg BenchConfig) (*BenchFile, error) {
 	for _, eng := range store.Engines {
 		for _, nodes := range benchNodes {
 			for _, dist := range benchDists {
-				row, err := runBenchCell(eng, nodes, dist, ops, cfg.Reps)
-				if err != nil {
-					return nil, fmt.Errorf("bench %s/%dn/%s: %w", eng, nodes, dist, err)
+				for _, place := range benchPlaces {
+					row, err := runBenchCell(eng, nodes, dist, place, ops, cfg.Reps)
+					if err != nil {
+						return nil, fmt.Errorf("bench %s/%dn/%s/%s: %w", eng, nodes, dist, place, err)
+					}
+					if cfg.Log != nil {
+						fmt.Fprintf(cfg.Log, "%-42s %8.1f Kops/s (±%.1f)  %6.2f allocs/op (±%.2f)\n",
+							row.key(), row.Kops, row.KopsMAD, row.AllocsPerOp, row.AllocsMAD)
+					}
+					f.Rows = append(f.Rows, row)
 				}
-				if cfg.Log != nil {
-					fmt.Fprintf(cfg.Log, "%-28s %8.1f Kops/s (±%.1f)  %6.2f allocs/op (±%.2f)\n",
-						row.key(), row.Kops, row.KopsMAD, row.AllocsPerOp, row.AllocsMAD)
-				}
-				f.Rows = append(f.Rows, row)
 			}
 		}
 	}
 	return f, nil
 }
 
-// runBenchCell measures one engine × nodes × dist cell: cfg.Reps
-// repetitions of the pinned scenario against a fresh cluster each,
-// Kops/s from the steady phase and allocs/op from the heap-allocation
-// delta across the whole run (total mallocs are monotonic, so the
-// delta is exact regardless of concurrent GC).
-func runBenchCell(eng store.Engine, nodes int, distName string, ops, reps int) (BenchRow, error) {
+// runBenchCell measures one engine × nodes × dist × place cell:
+// cfg.Reps repetitions of the pinned scenario against a fresh cluster
+// each, Kops/s from the steady phase and allocs/op from the
+// heap-allocation delta across the whole run (total mallocs are
+// monotonic, so the delta is exact regardless of concurrent GC).
+//
+// The first repetition is a discarded warmup. A cell's first run pays
+// one-time costs the others don't — scheduler ramp for freshly spawned
+// goroutine fleets (worst for the actor engine's per-shard owners,
+// whose first-run jitter put actor/1/uniform at a 58.5 Kops MAD in
+// BENCH_8), lazily grown pools, branch-cold code — and folding it into
+// the median inflates the MAD that the gate's tolerances are scaled
+// by.
+func runBenchCell(eng store.Engine, nodes int, distName, place string, ops, reps int) (BenchRow, error) {
+	policy, err := topo.ParsePolicy(place)
+	if err != nil {
+		return BenchRow{}, err
+	}
 	kops := make([]float64, 0, reps)
 	allocs := make([]float64, 0, reps)
-	for rep := 0; rep < reps; rep++ {
+	for rep := 0; rep < reps+1; rep++ {
+		warmup := rep == 0
 		dist, err := workload.ParseDist(distName, 4096)
 		if err != nil {
 			return BenchRow{}, err
 		}
 		c := cluster.New(cluster.Options{
 			Nodes: nodes,
+			Place: policy,
 			Store: store.Options{
 				Shards:     8,
 				Engine:     eng,
@@ -180,6 +216,9 @@ func runBenchCell(eng store.Engine, nodes int, distName string, ops, reps int) (
 		if err != nil {
 			return BenchRow{}, err
 		}
+		if warmup {
+			continue
+		}
 		total := uint64(0)
 		for _, ph := range results {
 			total += ph.Ops
@@ -194,6 +233,7 @@ func runBenchCell(eng store.Engine, nodes int, distName string, ops, reps int) (
 		Engine:      string(eng),
 		Nodes:       nodes,
 		Dist:        distName,
+		Place:       place,
 		Kops:        stats.Round(stats.Median(kops), 1),
 		KopsMAD:     stats.Round(stats.MAD(kops), 1),
 		AllocsPerOp: stats.Round(stats.Median(allocs), 2),

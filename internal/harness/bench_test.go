@@ -17,7 +17,7 @@ func TestBenchSweepAndGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRows := len(f.Engines) * len(f.Nodes) * len(f.Dists)
+	wantRows := len(f.Engines) * len(f.Nodes) * len(f.Dists) * len(f.Places)
 	if len(f.Rows) != wantRows || wantRows == 0 {
 		t.Fatalf("%d rows, want %d", len(f.Rows), wantRows)
 	}
@@ -73,6 +73,33 @@ func TestBenchSweepAndGate(t *testing.T) {
 	other.Seed++
 	if _, err := CompareBench(f, &other); err == nil {
 		t.Fatal("comparing different run configs must error")
+	}
+}
+
+// TestBenchPlaceKeyCompat: references written before the placement axis
+// (no place field) must match a fresh sweep's unplaced rows, and placed
+// rows must key distinctly — this is what lets one BENCH_<pr>.json gate
+// span the axis change.
+func TestBenchPlaceKeyCompat(t *testing.T) {
+	old := BenchRow{Engine: "actor", Nodes: 1, Dist: "uniform"}
+	unplaced := BenchRow{Engine: "actor", Nodes: 1, Dist: "uniform", Place: "none"}
+	placed := BenchRow{Engine: "actor", Nodes: 1, Dist: "uniform", Place: "compact"}
+	if old.key() != unplaced.key() {
+		t.Fatalf("pre-axis key %q != unplaced key %q", old.key(), unplaced.key())
+	}
+	if placed.key() == unplaced.key() {
+		t.Fatalf("placed row does not key distinctly: %q", placed.key())
+	}
+	ref := &BenchFile{Schema: BenchSchema, Seed: BenchSeed, Reps: 1,
+		Rows: []BenchRow{old}}
+	fresh := &BenchFile{Schema: BenchSchema, Seed: BenchSeed, Reps: 1,
+		Rows: []BenchRow{unplaced, placed}}
+	v, err := CompareBench(ref, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("pre-axis reference vs placed sweep: %v", v)
 	}
 }
 

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlaceEngineExperiments runs each place/<engine> experiment at
+// tiny scale: the full policy × distribution grid must produce rows
+// with positive throughput under every policy (placement must never
+// break an engine, even when pinning no-ops on this host).
+func TestPlaceEngineExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the policy grid on every engine")
+	}
+	for _, name := range []string{"place/locked", "place/actor", "place/optimistic"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, err := Default.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples, err := e.Run(Shard{Platform: Native, Threads: 2, Config: tiny})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 3 policies × 2 distributions.
+			if len(samples) != 6 {
+				t.Fatalf("%d samples, want 6: %+v", len(samples), samples)
+			}
+			for _, s := range samples {
+				if s.Value <= 0 {
+					t.Errorf("%s: %v Kops/s, want > 0", s.Metric, s.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestPlaceModelExperiment: the modeled sweep costs must order the
+// policies on every machine model — compact at or below scatter. This
+// is the assertion that carries the locality claim on single-domain
+// hosts, where the measured rows read as parity.
+func TestPlaceModelExperiment(t *testing.T) {
+	e, err := Default.ByName("place/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := e.Run(Shard{Platform: Native, Threads: 1, Config: tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string]float64{}
+	for _, s := range samples {
+		costs[s.Metric] = s.Value
+	}
+	if len(costs) != len(samples) || len(samples) == 0 {
+		t.Fatalf("duplicate or missing metrics: %+v", samples)
+	}
+	checked := 0
+	for metric, compact := range costs {
+		if !strings.Contains(metric, " compact ") {
+			continue
+		}
+		scatterMetric := strings.Replace(metric, " compact ", " scatter ", 1)
+		scatter, ok := costs[scatterMetric]
+		if !ok {
+			t.Fatalf("no scatter row pairing %q", metric)
+		}
+		if compact > scatter {
+			t.Errorf("%s: compact %v > scatter %v — compact must minimize sweep cost",
+				metric, compact, scatter)
+		}
+		checked++
+	}
+	// Four paper models plus the two 2-domain variants.
+	if checked != 6 {
+		t.Fatalf("checked %d model pairs, want 6", checked)
+	}
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// openBench reads a committed reference from the repository root.
+func openBench(t *testing.T, name string) *BenchFile {
+	t.Helper()
+	r, err := os.Open("../../" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	f, err := ReadBench(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestBenchTrajectory gates the committed references against each
+// other: the current PR's reference must hold every cell of the
+// previous PR's within the same noise bounds CI applies to a fresh
+// run. This is the "no silent regression across PRs" half of the
+// trajectory — the CI bench-gate leg covers "no regression on this
+// machine right now". The previous file predates the placement axis,
+// so only its unplaced cells are gated; key() compatibility makes
+// that pairing automatic.
+func TestBenchTrajectory(t *testing.T) {
+	prev := openBench(t, "BENCH_8.json")
+	cur := openBench(t, "BENCH_9.json")
+	if cur.PR <= prev.PR {
+		t.Fatalf("reference PRs out of order: %d then %d", prev.PR, cur.PR)
+	}
+	v, err := CompareBench(prev, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range v {
+		t.Errorf("trajectory regression: %s", s)
+	}
+}
+
+// TestBenchCommittedSelfConsistent: the current reference itself is
+// well-formed — full grid, positive medians, placement axis recorded.
+func TestBenchCommittedSelfConsistent(t *testing.T) {
+	f := openBench(t, "BENCH_9.json")
+	want := len(f.Engines) * len(f.Nodes) * len(f.Dists) * len(f.Places)
+	if len(f.Rows) != want || want == 0 {
+		t.Fatalf("%d rows, want %d", len(f.Rows), want)
+	}
+	if len(f.Places) != 2 {
+		t.Fatalf("places axis %v, want [none compact]", f.Places)
+	}
+	seen := map[string]bool{}
+	for _, r := range f.Rows {
+		if r.Kops <= 0 || r.AllocsPerOp <= 0 {
+			t.Errorf("%s: non-positive medians (%v Kops, %v allocs)", r.key(), r.Kops, r.AllocsPerOp)
+		}
+		if seen[r.key()] {
+			t.Errorf("duplicate row key %s", r.key())
+		}
+		seen[r.key()] = true
+	}
+}

@@ -50,6 +50,21 @@ func (p *Uint64) Raw() uint64 { return p.v }
 // caller has otherwise established exclusive access.
 func (p *Uint64) SetRaw(v uint64) { p.v = v }
 
+// Int64 is an int64 alone on its own cache line.
+type Int64 struct {
+	v int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically reads the value.
+func (p *Int64) Load() int64 { return atomic.LoadInt64(&p.v) }
+
+// Store atomically writes the value.
+func (p *Int64) Store(v int64) { atomic.StoreInt64(&p.v, v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Int64) Add(delta int64) int64 { return atomic.AddInt64(&p.v, delta) }
+
 // Uint32 is a uint32 alone on its own cache line.
 type Uint32 struct {
 	v uint32

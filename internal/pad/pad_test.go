@@ -10,6 +10,9 @@ func TestSizes(t *testing.T) {
 	if s := unsafe.Sizeof(Uint64{}); s != CacheLineSize {
 		t.Errorf("Uint64 is %d bytes, want %d", s, CacheLineSize)
 	}
+	if s := unsafe.Sizeof(Int64{}); s != CacheLineSize {
+		t.Errorf("Int64 is %d bytes, want %d", s, CacheLineSize)
+	}
 	if s := unsafe.Sizeof(Uint32{}); s != CacheLineSize {
 		t.Errorf("Uint32 is %d bytes, want %d", s, CacheLineSize)
 	}
@@ -53,6 +56,17 @@ func TestUint64Ops(t *testing.T) {
 	v.SetRaw(99)
 	if v.Raw() != 99 {
 		t.Fatal("Raw")
+	}
+}
+
+func TestInt64Ops(t *testing.T) {
+	var v Int64
+	v.Store(-5)
+	if v.Load() != -5 {
+		t.Fatal("Store/Load")
+	}
+	if v.Add(8) != 3 || v.Add(-4) != -1 {
+		t.Fatal("Add")
 	}
 }
 

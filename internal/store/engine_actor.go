@@ -1,6 +1,10 @@
 package store
 
-import "sync"
+import (
+	"sync"
+
+	"ssync/internal/topo"
+)
 
 // actorEngine is the message-passing paradigm: one goroutine per shard
 // owns that shard's bucket table outright — no locks exist anywhere;
@@ -88,11 +92,25 @@ func newActorEngine(opt Options) *actorEngine {
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
+	// Shard owners are the one place in the store where "shard X lives
+	// in domain Y" can be made literally true: each owner goroutine pins
+	// itself to its shard's LLC domain, so the shard's bucket table is
+	// only ever touched from CPUs that share that LLC. Without a
+	// placement (or on a single-domain machine) pin is a no-op and the
+	// owners float as before.
+	var domains []int
+	if opt.Placement != nil {
+		domains = opt.Placement.ShardDomains(opt.Shards)
+	}
 	for i := range e.mboxes {
 		e.mboxes[i] = make(chan actorMsg, actorMailbox)
 		tbl := newShardTable(opt.Buckets)
+		domain := -1
+		if domains != nil {
+			domain = domains[i]
+		}
 		e.wg.Add(1)
-		go e.own(&tbl, e.mboxes[i])
+		go e.own(&tbl, e.mboxes[i], opt.Placement, domain)
 	}
 	return e
 }
@@ -103,8 +121,10 @@ func newActorEngine(opt Options) *actorEngine {
 // poll still gets its reply; a message that loses that race is handled
 // by the sender side of the protocol (call waits on stopped and then
 // gives up), so no goroutine is ever stranded either way.
-func (e *actorEngine) own(tbl *shardTable, mbox chan actorMsg) {
+func (e *actorEngine) own(tbl *shardTable, mbox chan actorMsg, pl *topo.Placement, domain int) {
 	defer e.wg.Done()
+	undo := pl.Pin(domain)
+	defer undo()
 	for {
 		select {
 		case <-e.stop:

@@ -63,16 +63,22 @@ type optCounters struct {
 	_       [pad.CacheLineSize - 32]byte
 }
 
-// optShard is one shard: the seqlock version, the published buckets,
-// the live-entry count and the counter stripes. The version word is
-// padded — it is the one word every reader and writer of the shard
-// touches.
+// optShard is one shard: the seqlock version, the live-entry count,
+// the published buckets and the counter stripes. Field order is layout:
+// the two hot write-side words (version, bumped twice per publish;
+// live, bumped per create/delete) each own a full line so neither
+// invalidates the other's readers, the read-mostly buckets header is
+// padded out to the next line, and the stripes array then starts
+// line-aligned — without that, stripe elements straddle two lines and
+// stripe 0 shares one with the live counter, which is exactly the
+// false sharing the stripes exist to avoid. align_test.go pins these
+// offsets.
 type optShard struct {
 	version pad.Uint64
+	live    pad.Int64
 	buckets []atomic.Pointer[oBucket]
-	live    atomic.Int64
+	_       [pad.CacheLineSize - 24]byte
 	stripes [optStripes]optCounters
-	_       pad.Line
 }
 
 func newOptimisticEngine(opt Options) *optimisticEngine {

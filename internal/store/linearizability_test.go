@@ -6,8 +6,10 @@ import (
 	"sync"
 	"testing"
 
+	"ssync/internal/arch"
 	"ssync/internal/locks"
 	"ssync/internal/store/linearize"
+	"ssync/internal/topo"
 	"ssync/internal/workload"
 	"ssync/internal/xrand"
 )
@@ -241,47 +243,64 @@ func TestLinearizableEngineMatrix(t *testing.T) {
 		nKeys    = 6
 		depth    = 16
 	)
-	ops := 400
+	// The placement axis doubles the parallel cell count, and the Wing–
+	// Gong checker's node budget is exponential in op overlap — sized so
+	// every cell decides even with all 18 running at once under -race on
+	// a small host.
+	ops := 200
 	if testing.Short() {
-		ops = 120
+		ops = 80
 	}
 	kinds := []string{"direct", "lockstep", "async"}
-	for _, eng := range Engines {
-		for _, kind := range kinds {
-			eng, kind := eng, kind
-			t.Run(string(eng)+"/"+kind, func(t *testing.T) {
-				t.Parallel()
-				s := New(Options{Shards: 2, Buckets: 4, Engine: eng, Lock: locks.MCS,
-					MaxThreads: nClients + 2, Nodes: 2})
-				defer s.Close()
-				srv := NewServer(s, 2)
-				hists := newHistories(nKeys)
-				var wg sync.WaitGroup
-				for c := 0; c < nClients; c++ {
-					c := c
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						switch kind {
-						case "direct":
-							runLinearClient(t, s.NewLocalConn(c%2), c, nKeys, ops, hists)
-						case "lockstep":
-							cl := srv.PipeClient()
-							defer cl.Close()
-							runLinearClient(t, cl, c, nKeys, ops, hists)
-						case "async":
-							cl := srv.PipeAsyncClient(depth)
-							defer cl.Close()
-							runAsyncLinearClient(t, cl, c, nKeys, ops, depth, hists)
-						}
-					}()
-				}
-				wg.Wait()
-				if t.Failed() {
-					return
-				}
-				checkHistories(t, string(eng)+"/"+kind, hists)
-			})
+	// Placement axis: every cell must stay linearizable when shards are
+	// compact-placed over a multi-domain machine model — the reordered
+	// batch visits, pinned actor owners and pinned server connections
+	// must be invisible to the history checker. The Opteron2 model has 2
+	// domains, so the domain-major machinery genuinely engages, and its
+	// low simulated core ids intersect any real host's allowance, so the
+	// sched_setaffinity path runs for real under -race.
+	places := map[string]*topo.Placement{
+		"place=none":    nil,
+		"place=compact": topo.NewPlacement(topo.PolicyCompact, topo.FromPlatform(arch.Opteron2())),
+	}
+	for placeName, place := range places {
+		for _, eng := range Engines {
+			for _, kind := range kinds {
+				eng, kind, placeName, place := eng, kind, placeName, place
+				t.Run(string(eng)+"/"+kind+"/"+placeName, func(t *testing.T) {
+					t.Parallel()
+					s := New(Options{Shards: 2, Buckets: 4, Engine: eng, Lock: locks.MCS,
+						MaxThreads: nClients + 2, Nodes: 2, Placement: place})
+					defer s.Close()
+					srv := NewServer(s, 2)
+					hists := newHistories(nKeys)
+					var wg sync.WaitGroup
+					for c := 0; c < nClients; c++ {
+						c := c
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							switch kind {
+							case "direct":
+								runLinearClient(t, s.NewLocalConn(c%2), c, nKeys, ops, hists)
+							case "lockstep":
+								cl := srv.PipeClient()
+								defer cl.Close()
+								runLinearClient(t, cl, c, nKeys, ops, hists)
+							case "async":
+								cl := srv.PipeAsyncClient(depth)
+								defer cl.Close()
+								runAsyncLinearClient(t, cl, c, nKeys, ops, depth, hists)
+							}
+						}()
+					}
+					wg.Wait()
+					if t.Failed() {
+						return
+					}
+					checkHistories(t, string(eng)+"/"+kind+"/"+placeName, hists)
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ssync/internal/arch"
+	"ssync/internal/topo"
+)
+
+// placementOver builds a store placed over a machine model.
+func placementOver(p *arch.Platform, pol topo.Policy) *topo.Placement {
+	return topo.NewPlacement(pol, topo.FromPlatform(p))
+}
+
+// TestStoreVisitOrderDomainMajor: under a scatter placement the visit
+// order must regroup shards domain-major; under compact (already
+// contiguous) and no placement it must be the identity.
+func TestStoreVisitOrderDomainMajor(t *testing.T) {
+	const shards = 8
+	none := New(Options{Shards: shards, Buckets: 4})
+	defer none.Close()
+	if got := none.VisitOrder(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("no-placement visit order = %v", got)
+	}
+	if none.ShardDomain(0) != -1 {
+		t.Fatalf("no-placement ShardDomain = %d", none.ShardDomain(0))
+	}
+
+	compact := New(Options{Shards: shards, Buckets: 4,
+		Placement: placementOver(arch.Xeon2(), topo.PolicyCompact)})
+	defer compact.Close()
+	if got := compact.VisitOrder(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("compact visit order = %v", got)
+	}
+
+	scatter := New(Options{Shards: shards, Buckets: 4,
+		Placement: placementOver(arch.Xeon2(), topo.PolicyScatter)})
+	defer scatter.Close()
+	// Round-robin over 2 domains: evens then odds.
+	if got := scatter.VisitOrder(); !reflect.DeepEqual(got, []int{0, 2, 4, 6, 1, 3, 5, 7}) {
+		t.Fatalf("scatter visit order = %v", got)
+	}
+	for sh := 0; sh < shards; sh++ {
+		if got := scatter.ShardDomain(sh); got != sh%2 {
+			t.Fatalf("scatter ShardDomain(%d) = %d", sh, got)
+		}
+	}
+}
+
+// TestPlacedStoreSemantics runs the same operation sequence against an
+// unplaced store and one placed with every policy on every engine —
+// results must be identical: placement moves work, never answers.
+func TestPlacedStoreSemantics(t *testing.T) {
+	type probe struct {
+		key, val string
+	}
+	probes := make([]probe, 64)
+	for i := range probes {
+		probes[i] = probe{key: "k" + string(rune('a'+i%26)) + string(rune('0'+i/26)), val: "v" + string(rune('a'+i))}
+	}
+	run := func(s *Store) ([]Entry, []bool) {
+		h := s.NewHandle(0)
+		created := make([]bool, len(probes))
+		for i, p := range probes {
+			created[i] = h.Put(p.key, []byte(p.val))
+		}
+		for i := 0; i < len(probes); i += 3 {
+			h.Delete(probes[i].key)
+		}
+		return h.Scan("k", 0), created
+	}
+	for _, eng := range Engines {
+		base := New(Options{Shards: 8, Buckets: 4, Engine: eng})
+		wantEntries, wantCreated := run(base)
+		base.Close()
+		for _, pol := range topo.Policies {
+			s := New(Options{Shards: 8, Buckets: 4, Engine: eng,
+				Placement: placementOver(arch.Opteron(), pol)})
+			gotEntries, gotCreated := run(s)
+			s.Close()
+			if !reflect.DeepEqual(gotCreated, wantCreated) {
+				t.Fatalf("%s/%s: created flags diverge", eng, pol)
+			}
+			if !reflect.DeepEqual(gotEntries, wantEntries) {
+				t.Fatalf("%s/%s: scan diverges: %d vs %d entries", eng, pol, len(gotEntries), len(wantEntries))
+			}
+		}
+	}
+}
+
+// TestPlacedBatchResponsesByRequestIndex: the domain-major group loop
+// reorders shard visits, so this pins down that responses still land at
+// their request's index, engine by engine.
+func TestPlacedBatchResponsesByRequestIndex(t *testing.T) {
+	for _, eng := range Engines {
+		s := New(Options{Shards: 8, Buckets: 4, Engine: eng,
+			Placement: placementOver(arch.Opteron(), topo.PolicyScatter)})
+		h := s.NewHandle(0)
+		var reqs []Request
+		for i := 0; i < 40; i++ {
+			key := "bk" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+			reqs = append(reqs, Request{Op: OpPut, Key: key, Value: []byte{byte(i)}})
+		}
+		for i := 0; i < 40; i++ {
+			reqs = append(reqs, Request{Op: OpGet, Key: reqs[i].Key})
+		}
+		resps := h.ExecBatch(reqs)
+		for i := 0; i < 40; i++ {
+			if resps[i].Status != StatusOK || !resps[i].Created {
+				t.Fatalf("%s: put %d: %+v", eng, i, resps[i])
+			}
+			got := resps[40+i]
+			if got.Status != StatusOK || len(got.Value) != 1 || got.Value[0] != byte(i) {
+				t.Fatalf("%s: get %d answered %+v, want value [%d]", eng, i, got, i)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestPlacedServerSmoke drives the wire path with a placed store: conn
+// goroutines pin (or no-op) per their ConnDomain and everything still
+// round-trips.
+func TestPlacedServerSmoke(t *testing.T) {
+	s := New(Options{Shards: 4, Buckets: 8, Nodes: 2,
+		Placement: placementOver(arch.Opteron2(), topo.PolicyAuto)})
+	defer s.Close()
+	srv := NewServer(s, 2)
+	for c := 0; c < 3; c++ {
+		cl := srv.PipeClient()
+		if _, err := cl.Put("pk", []byte("pv")); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := cl.Get("pk")
+		if err != nil || !ok || string(v) != "pv" {
+			t.Fatalf("conn %d: get = %q %v %v", c, v, ok, err)
+		}
+		cl.Close()
+	}
+}
+
+// TestVisitOrderCoversAllShards guards the sweep contract Len and
+// ShardStats rely on via Scan: every shard visited exactly once for
+// every policy at a shard count that doesn't divide the domain count.
+func TestVisitOrderCoversAllShards(t *testing.T) {
+	for _, pol := range topo.Policies {
+		s := New(Options{Shards: 13, Buckets: 4,
+			Placement: placementOver(arch.Opteron(), pol)})
+		order := s.VisitOrder()
+		sorted := append([]int(nil), order...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				t.Fatalf("%s: visit order %v is not a permutation of 0..12", pol, order)
+			}
+		}
+		s.Close()
+	}
+}

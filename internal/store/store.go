@@ -25,6 +25,7 @@ import (
 
 	"ssync/internal/hashkit"
 	"ssync/internal/locks"
+	"ssync/internal/topo"
 )
 
 // lookupKey is the engines' dual-representation key: exactly one of s
@@ -263,6 +264,15 @@ type Options struct {
 	MaxThreads int
 	// Nodes is the NUMA-node count forwarded to hierarchical locks.
 	Nodes int
+	// Placement binds shards to LLC domains (internal/topo). nil means no
+	// placement: identity visit order, no pinning. With a placement, the
+	// shard→domain assignment drives three things: the actor engine pins
+	// each shard-owner goroutine to its shard's domain, the server pins
+	// connection goroutines round-robin over the domains (and takes the
+	// domain's memory node as the NUMA hint), and every engine's full
+	// shard sweeps (ExecBatch's group loop, Scan) walk shards
+	// domain-major so adjacent visits share an LLC.
+	Placement *topo.Placement
 }
 
 func (o Options) withDefaults() Options {
@@ -286,6 +296,12 @@ func (o Options) withDefaults() Options {
 type Store struct {
 	opt Options
 	eng shardEngine
+	// visit is the shard visit order for full sweeps: domain-major under
+	// a placement (all of one LLC domain's shards, then the next's),
+	// identity without one. domains is the shard→domain assignment the
+	// order was derived from (nil without a placement).
+	visit   []int
+	domains []int
 }
 
 // New creates a store. A store built with EngineActor owns goroutines;
@@ -293,6 +309,15 @@ type Store struct {
 func New(opt Options) *Store {
 	opt = opt.withDefaults()
 	s := &Store{opt: opt}
+	if opt.Placement != nil {
+		s.visit = opt.Placement.VisitOrder(opt.Shards)
+		s.domains = opt.Placement.ShardDomains(opt.Shards)
+	} else {
+		s.visit = make([]int, opt.Shards)
+		for i := range s.visit {
+			s.visit[i] = i
+		}
+	}
 	switch opt.Engine {
 	case EngineActor:
 		s.eng = newActorEngine(opt)
@@ -318,6 +343,23 @@ func (s *Store) Lock() locks.Algorithm { return s.opt.Lock }
 
 // Engine returns the shard-engine paradigm the store runs on.
 func (s *Store) Engine() Engine { return s.opt.Engine }
+
+// Placement returns the store's placement (nil when none is configured).
+func (s *Store) Placement() *topo.Placement { return s.opt.Placement }
+
+// ShardDomain returns the LLC domain assigned to shard sh, or -1 when
+// the store has no placement.
+func (s *Store) ShardDomain(sh int) int {
+	if s.domains == nil {
+		return -1
+	}
+	return s.domains[sh]
+}
+
+// VisitOrder returns the shard order full sweeps use (a copy).
+func (s *Store) VisitOrder() []int {
+	return append([]int(nil), s.visit...)
+}
 
 // String describes the store configuration.
 func (s *Store) String() string {
@@ -453,7 +495,13 @@ func (h *Handle) ExecBatch(reqs []Request) []Response {
 			resps[i] = Response{Status: StatusError, Msg: ErrBadOp.Error()}
 		}
 	}
-	for sh, idxs := range groups {
+	// Touched shards execute in the store's visit order — domain-major
+	// under a placement, so consecutive engine visits stay inside one
+	// LLC domain instead of ping-ponging the handling thread's cache
+	// lines across domains. Responses land by request index, so the
+	// visit order never changes results, only locality.
+	for _, sh := range h.s.visit {
+		idxs := groups[sh]
 		if len(idxs) == 0 {
 			continue
 		}
@@ -522,7 +570,9 @@ func execPointOps(reqs []Request, hashes []uint64, idxs []int, resps []Response,
 // unlimited.
 func (h *Handle) Scan(prefix string, limit int) []Entry {
 	var out []Entry
-	for i := 0; i < h.s.opt.Shards; i++ {
+	// Domain-major shard walk (identity without a placement); the sort
+	// below makes the result independent of visit order.
+	for _, i := range h.s.visit {
 		out = h.acc.scanShard(i, prefix, out)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })

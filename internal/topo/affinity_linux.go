@@ -1,0 +1,77 @@
+//go:build linux
+
+package topo
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Thread affinity via the raw sched_{get,set}affinity syscalls on the
+// calling thread (pid 0). No cgo, no external module — the mask is a
+// plain uint64 bitmap, sized for 1024 CPUs, which covers every machine
+// the paper models and then some. Callers must have the goroutine
+// locked to its OS thread (runtime.LockOSThread) or the mask lands on
+// whatever thread the scheduler had borrowed.
+
+// affinityWords is the mask size in 64-bit words (1024 CPUs).
+const affinityWords = 16
+
+type affinityMask [affinityWords]uint64
+
+// set reports whether the mask admits cpu.
+func (m *affinityMask) has(cpu int) bool {
+	return cpu >= 0 && cpu < affinityWords*64 && m[cpu/64]&(1<<(cpu%64)) != 0
+}
+
+func (m *affinityMask) add(cpu int) bool {
+	if cpu < 0 || cpu >= affinityWords*64 {
+		return false
+	}
+	m[cpu/64] |= 1 << (cpu % 64)
+	return true
+}
+
+// getAffinity reads the calling thread's CPU mask.
+func getAffinity() (affinityMask, error) {
+	var m affinityMask
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(len(m)*8), uintptr(unsafe.Pointer(&m[0])))
+	if errno != 0 {
+		return m, errno
+	}
+	return m, nil
+}
+
+// setAffinityMask installs a raw mask on the calling thread.
+func setAffinityMask(m affinityMask) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(m)*8), uintptr(unsafe.Pointer(&m[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// setAffinityCPUs pins the calling thread to the intersection of cpus
+// with the thread's current allowance (a container or cpuset may
+// forbid some of them; pinning must narrow, never escape). It fails if
+// the intersection is empty — e.g. an arch-model domain whose
+// simulated core ids do not exist on this host.
+func setAffinityCPUs(cpus []int) error {
+	allowed, err := getAffinity()
+	if err != nil {
+		return err
+	}
+	var m affinityMask
+	any := false
+	for _, c := range cpus {
+		if allowed.has(c) && m.add(c) {
+			any = true
+		}
+	}
+	if !any {
+		return syscall.EINVAL
+	}
+	return setAffinityMask(m)
+}

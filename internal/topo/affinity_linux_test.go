@@ -1,0 +1,95 @@
+//go:build linux
+
+package topo
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestAffinityRoundTrip pins the current thread to CPU 0 (present on
+// every Linux host), verifies the kernel reports exactly that mask,
+// then restores the original allowance.
+func TestAffinityRoundTrip(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+
+	prev, err := getAffinity()
+	if err != nil {
+		t.Fatalf("getAffinity: %v", err)
+	}
+	if !prev.has(0) {
+		t.Skip("cpu 0 not in this process's allowance")
+	}
+	if err := setAffinityCPUs([]int{0}); err != nil {
+		t.Fatalf("setAffinityCPUs([0]): %v", err)
+	}
+	defer func() {
+		if err := setAffinityMask(prev); err != nil {
+			t.Errorf("restore mask: %v", err)
+		}
+	}()
+	got, err := getAffinity()
+	if err != nil {
+		t.Fatalf("getAffinity after pin: %v", err)
+	}
+	var want affinityMask
+	want.add(0)
+	if got != want {
+		t.Fatalf("mask after pin = %v, want only cpu 0", got)
+	}
+}
+
+// TestSetAffinityNeverEscapes: asking for CPUs outside the current
+// allowance (plus one inside) must narrow to the allowed subset.
+func TestSetAffinityNeverEscapes(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+
+	prev, err := getAffinity()
+	if err != nil {
+		t.Fatalf("getAffinity: %v", err)
+	}
+	defer func() { _ = setAffinityMask(prev) }()
+
+	if err := setAffinityCPUs([]int{0, 1 << 12}); err != nil {
+		t.Fatalf("setAffinityCPUs with out-of-range cpu: %v", err)
+	}
+	got, err := getAffinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.has(1 << 12) {
+		t.Fatal("mask escaped the allowance")
+	}
+	// All-disallowed must fail, leaving the mask usable.
+	if err := setAffinityCPUs([]int{affinityWords*64 + 5}); err == nil {
+		t.Fatal("expected error pinning to nonexistent cpus")
+	}
+}
+
+// TestPinRealDomain exercises the full Pin path against the discovered
+// host topology when it is genuinely multi-domain (a no-op assertion
+// otherwise — CI boxes are usually single-domain).
+func TestPinRealDomain(t *testing.T) {
+	host := Discover()
+	pl := NewPlacement(PolicyCompact, host)
+	undo := pl.Pin(0)
+	undo()
+	if host.NumDomains() < 2 {
+		t.Skipf("single-domain host %v: Pin is a no-op by design", host)
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	undo = pl.Pin(0)
+	got, err := getAffinity()
+	undo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range host.Domains[1].CPUs {
+		if got.has(c) {
+			t.Fatalf("pinned to domain 0 but mask admits domain 1 cpu %d", c)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package topo
+
+import "errors"
+
+// Thread affinity is Linux-only; elsewhere every pin degrades to a
+// no-op at the Placement layer. These stubs keep policy.go portable.
+
+type affinityMask struct{}
+
+var errNoAffinity = errors.New("topo: thread affinity unsupported on this OS")
+
+func getAffinity() (affinityMask, error) { return affinityMask{}, errNoAffinity }
+func setAffinityMask(affinityMask) error { return errNoAffinity }
+func setAffinityCPUs([]int) error        { return errNoAffinity }

@@ -1,0 +1,16 @@
+//go:build linux
+
+package topo
+
+import "runtime"
+
+// Discover returns the host topology: the live sysfs tree when it
+// parses, a flat single-domain machine otherwise. Discovery never
+// fails — a host the parser cannot read is simply a host placement
+// cannot help.
+func Discover() *Topology {
+	if t, err := ParseSysfs("/sys"); err == nil {
+		return t
+	}
+	return Flat(runtime.NumCPU())
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package topo
+
+import "runtime"
+
+// Discover returns a flat single-domain topology: without sysfs there
+// is no portable way to see LLC domains, and a flat machine is the
+// honest degradation — every policy becomes a no-op rather than a
+// wrong guess.
+func Discover() *Topology {
+	return Flat(runtime.NumCPU())
+}

@@ -1,0 +1,193 @@
+package topo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file parses the Linux sysfs topology tree into a Topology. The
+// parser is pure file reading — no syscalls — so the committed fixture
+// trees under testdata/ exercise it byte-for-byte on every OS, and
+// Discover (discover_linux.go) just points it at /sys.
+//
+// What it reads, per online CPU N (cpu/online gives the online set,
+// holes included):
+//
+//	cpuN/cache/index*/{level,type,shared_cpu_list}  → the LLC share set
+//	cpuN/topology/physical_package_id               → fallback domain key
+//	../node/node*/cpulist                           → memory node of N
+//
+// CPUs sharing the deepest data/unified cache form one LLC domain; a
+// tree without cache info falls back to one domain per physical
+// package. A tree without NUMA nodes puts everything on node 0.
+
+// ParseSysfs builds a Topology from a sysfs root (the directory that
+// contains devices/system/cpu — "/sys" on a live system, a fixture
+// root in tests).
+func ParseSysfs(root string) (*Topology, error) {
+	cpuDir := filepath.Join(root, "devices", "system", "cpu")
+	online, err := readCPUList(filepath.Join(cpuDir, "online"))
+	if err != nil {
+		return nil, fmt.Errorf("topo: sysfs online cpus: %w", err)
+	}
+	if len(online) == 0 {
+		return nil, fmt.Errorf("topo: sysfs reports no online cpus")
+	}
+
+	nodeOf := parseNodeMap(filepath.Join(root, "devices", "system", "node"))
+
+	// Group online CPUs by LLC share set. The key is the canonical
+	// rendering of the shared_cpu_list restricted to online CPUs, so
+	// offline holes cannot split one real domain into phantom ones.
+	groups := map[string][]int{}
+	onlineSet := map[int]bool{}
+	for _, c := range online {
+		onlineSet[c] = true
+	}
+	for _, c := range online {
+		share, err := llcShare(cpuDir, c)
+		if err != nil {
+			// No cache info for this CPU: fall back to the physical
+			// package as the domain.
+			pkg := readIntDefault(filepath.Join(cpuDir, fmt.Sprintf("cpu%d", c), "topology", "physical_package_id"), 0)
+			groups[fmt.Sprintf("pkg:%d", pkg)] = append(groups[fmt.Sprintf("pkg:%d", pkg)], c)
+			continue
+		}
+		var live []int
+		for _, s := range share {
+			if onlineSet[s] {
+				live = append(live, s)
+			}
+		}
+		sort.Ints(live)
+		key := fmt.Sprint(live)
+		groups[key] = append(groups[key], c)
+	}
+
+	t := &Topology{Source: "sysfs"}
+	for _, cpus := range groups {
+		sort.Ints(cpus)
+		t.Domains = append(t.Domains, Domain{Node: nodeOf(cpus[0]), CPUs: cpus})
+	}
+	return t.finish(), nil
+}
+
+// llcShare returns the shared_cpu_list of cpu's deepest data/unified
+// cache.
+func llcShare(cpuDir string, cpu int) ([]int, error) {
+	cacheDir := filepath.Join(cpuDir, fmt.Sprintf("cpu%d", cpu), "cache")
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	bestLevel := -1
+	var best []int
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		idxDir := filepath.Join(cacheDir, e.Name())
+		if typ, err := os.ReadFile(filepath.Join(idxDir, "type")); err == nil {
+			if strings.EqualFold(strings.TrimSpace(string(typ)), "Instruction") {
+				continue
+			}
+		}
+		level := readIntDefault(filepath.Join(idxDir, "level"), -1)
+		if level <= bestLevel {
+			continue
+		}
+		share, err := readCPUList(filepath.Join(idxDir, "shared_cpu_list"))
+		if err != nil || len(share) == 0 {
+			continue
+		}
+		bestLevel, best = level, share
+	}
+	if bestLevel < 0 {
+		return nil, fmt.Errorf("topo: cpu%d has no usable cache index", cpu)
+	}
+	return best, nil
+}
+
+// parseNodeMap reads devices/system/node/node*/cpulist into a
+// cpu→node lookup; a tree without node dirs maps everything to 0.
+func parseNodeMap(nodeDir string) func(cpu int) int {
+	m := map[int]int{}
+	entries, err := os.ReadDir(nodeDir)
+	if err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasPrefix(name, "node") {
+				continue
+			}
+			id, err := strconv.Atoi(name[len("node"):])
+			if err != nil {
+				continue
+			}
+			cpus, err := readCPUList(filepath.Join(nodeDir, name, "cpulist"))
+			if err != nil {
+				continue
+			}
+			for _, c := range cpus {
+				m[c] = id
+			}
+		}
+	}
+	return func(cpu int) int { return m[cpu] }
+}
+
+// readCPUList parses the kernel's CPU-list format: comma-separated
+// ranges, e.g. "0-3,5,7-8". An empty file is an empty list.
+func readCPUList(path string) ([]int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseCPUList(strings.TrimSpace(string(b)))
+}
+
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+			b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+			if err1 != nil || err2 != nil || a > b || a < 0 {
+				return nil, fmt.Errorf("topo: bad cpu range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				out = append(out, c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("topo: bad cpu id %q", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// readIntDefault reads a single decimal from a file, or returns def.
+func readIntDefault(path string, def int) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return def
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return def
+	}
+	return v
+}

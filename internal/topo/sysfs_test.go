@@ -1,0 +1,88 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The committed fixture trees under testdata/ are minimal sysfs
+// snapshots: a 1-socket desktop, a 2-socket NUMA box, and a machine
+// with offline CPUs whose stale kernel share-masks still name them.
+
+func domainCPUs(t *Topology) [][]int {
+	out := make([][]int, len(t.Domains))
+	for i, d := range t.Domains {
+		out[i] = d.CPUs
+	}
+	return out
+}
+
+func TestParseSysfsOneSocket(t *testing.T) {
+	tp, err := ParseSysfs("testdata/sysfs-1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumDomains() != 1 || tp.Nodes != 1 {
+		t.Fatalf("1-socket: %v", tp)
+	}
+	want := [][]int{{0, 1, 2, 3}}
+	if got := domainCPUs(tp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("1-socket domains = %v, want %v", got, want)
+	}
+	if tp.Source != "sysfs" {
+		t.Fatalf("source = %q", tp.Source)
+	}
+}
+
+func TestParseSysfsTwoSocketNUMA(t *testing.T) {
+	tp, err := ParseSysfs("testdata/sysfs-2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumDomains() != 2 || tp.Nodes != 2 {
+		t.Fatalf("2-socket: %v", tp)
+	}
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	if got := domainCPUs(tp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("2-socket domains = %v, want %v", got, want)
+	}
+	if tp.Domains[0].Node != 0 || tp.Domains[1].Node != 1 {
+		t.Fatalf("2-socket node mapping: %+v", tp.Domains)
+	}
+	if tp.Dist(0, 1) <= tp.Dist(0, 0) {
+		t.Fatalf("cross-node dist %d not above in-domain %d", tp.Dist(0, 1), tp.Dist(0, 0))
+	}
+}
+
+// TestParseSysfsOfflineHoles: cpus 3 and 4 are offline but still have
+// directories, and the online CPUs' shared_cpu_list masks still name
+// them (kernels leave stale bits). The parser must intersect share
+// sets with the online list so the holes neither appear as CPUs nor
+// split their domains.
+func TestParseSysfsOfflineHoles(t *testing.T) {
+	tp, err := ParseSysfs("testdata/sysfs-holey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumDomains() != 2 {
+		t.Fatalf("holey: %v", tp)
+	}
+	want := [][]int{{0, 1, 2}, {5, 6, 7}}
+	if got := domainCPUs(tp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("holey domains = %v, want %v", got, want)
+	}
+	if tp.NumCPUs() != 6 {
+		t.Fatalf("holey cpus = %d, want 6", tp.NumCPUs())
+	}
+	for _, off := range []int{3, 4} {
+		if d := tp.DomainOfCPU(off); d != -1 {
+			t.Fatalf("offline cpu %d placed in domain %d", off, d)
+		}
+	}
+}
+
+func TestParseSysfsMissingRoot(t *testing.T) {
+	if _, err := ParseSysfs("testdata/does-not-exist"); err == nil {
+		t.Fatal("expected error for missing sysfs root")
+	}
+}

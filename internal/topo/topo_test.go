@@ -1,0 +1,140 @@
+package topo
+
+import (
+	"testing"
+
+	"ssync/internal/arch"
+)
+
+func TestFlat(t *testing.T) {
+	tp := Flat(4)
+	if tp.NumDomains() != 1 || tp.Nodes != 1 || tp.NumCPUs() != 4 {
+		t.Fatalf("Flat(4) = %v", tp)
+	}
+	if tp.Dist(0, 0) != distLocal {
+		t.Fatalf("flat self-distance %d", tp.Dist(0, 0))
+	}
+	if got := Flat(0).NumCPUs(); got != 1 {
+		t.Fatalf("Flat(0) has %d cpus, want 1", got)
+	}
+}
+
+// TestFromPlatform checks the arch conversion against the platforms'
+// documented shapes, and that the distance matrix is symmetric with
+// the in-domain cost minimal — the two properties the policy layer
+// relies on.
+func TestFromPlatform(t *testing.T) {
+	wantDomains := map[string]int{
+		"Opteron": 8, "Xeon": 8, "Niagara": 1, "Tilera": 2, "Opteron2": 2, "Xeon2": 2,
+	}
+	for _, name := range arch.Names() {
+		p := arch.ByName(name)
+		tp := FromPlatform(p)
+		if tp.NumCPUs() != p.NumCores {
+			t.Errorf("%s: %d cpus, want %d", name, tp.NumCPUs(), p.NumCores)
+		}
+		if tp.NumDomains() != wantDomains[name] {
+			t.Errorf("%s: %d domains, want %d", name, tp.NumDomains(), wantDomains[name])
+		}
+		if tp.Nodes != p.NumNodes {
+			t.Errorf("%s: %d nodes, want %d", name, tp.Nodes, p.NumNodes)
+		}
+		for a := 0; a < tp.NumDomains(); a++ {
+			for b := 0; b < tp.NumDomains(); b++ {
+				if tp.Dist(a, b) != tp.Dist(b, a) {
+					t.Errorf("%s: dist(%d,%d)=%d != dist(%d,%d)=%d",
+						name, a, b, tp.Dist(a, b), b, a, tp.Dist(b, a))
+				}
+				if a != b && tp.Dist(a, b) < tp.Dist(a, a) {
+					t.Errorf("%s: cross-domain dist(%d,%d)=%d below in-domain %d",
+						name, a, b, tp.Dist(a, b), tp.Dist(a, a))
+				}
+			}
+		}
+		// Every core lands in exactly one domain.
+		seen := make([]bool, p.NumCores)
+		for _, d := range tp.Domains {
+			for _, c := range d.CPUs {
+				if seen[c] {
+					t.Fatalf("%s: core %d in two domains", name, c)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+// TestFromPlatformDistancesAreTableLatencies spot-checks that an arch
+// topology's distances are the platform's own CAS latencies, not
+// synthetic weights — the property that makes EstimateCost read in
+// paper cycles.
+func TestFromPlatformDistancesAreTableLatencies(t *testing.T) {
+	p := arch.Opteron()
+	tp := FromPlatform(p)
+	// Domains are dies; die 0 core 0 vs die 1 core 6 are same-MCM.
+	want := p.Lat(arch.CAS, arch.Modified, p.DistClass(0, 6))
+	if got := tp.Dist(0, 1); got != want {
+		t.Fatalf("Opteron dist(0,1) = %d, want table latency %d", got, want)
+	}
+	if tp.Dist(0, 0) != p.Lat(arch.CAS, arch.Modified, 0) {
+		t.Fatalf("Opteron in-domain dist = %d, want %d", tp.Dist(0, 0), p.Lat(arch.CAS, arch.Modified, 0))
+	}
+}
+
+func TestDiscoverNeverNil(t *testing.T) {
+	tp := Discover()
+	if tp == nil || tp.NumDomains() < 1 || tp.NumCPUs() < 1 {
+		t.Fatalf("Discover() = %v", tp)
+	}
+	t.Logf("host: %v", tp)
+}
+
+func TestDomainOfCPU(t *testing.T) {
+	tp := FromPlatform(arch.Xeon2())
+	if d := tp.DomainOfCPU(0); d != 0 {
+		t.Fatalf("cpu0 in domain %d", d)
+	}
+	if d := tp.DomainOfCPU(11); d != 1 {
+		t.Fatalf("cpu11 in domain %d", d)
+	}
+	if d := tp.DomainOfCPU(99); d != -1 {
+		t.Fatalf("phantom cpu in domain %d", d)
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"0-2,5-7", []int{0, 1, 2, 5, 6, 7}, false},
+		{"4", []int{4}, false},
+		{"0, 2 ,4", []int{0, 2, 4}, false},
+		{"", nil, false},
+		{"3-1", nil, true},
+		{"x", nil, true},
+		{"-1", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseCPUList(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseCPUList(%q) err = %v, want err %v", c.in, err, c.err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
