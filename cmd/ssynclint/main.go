@@ -1,0 +1,10 @@
+// Command ssynclint machine-checks the repo's concurrency and
+// allocation invariants: pooled-buffer ownership (poolaudit),
+// cache-line layout (padcheck), shard-lock discipline (lockorder) and
+// atomic/plain access mixing (atomicmix). CI runs it over ./... as a
+// required gate; `ssynclint -list` names the analyzers.
+package main
+
+import "ssync/internal/cli"
+
+func main() { cli.Run(cli.LintMain) }

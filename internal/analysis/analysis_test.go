@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestLoad exercises the go-list-export loader end to end on two real
+// module packages: parsed source, resolved imports, full type info.
+func TestLoad(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/pad", "./internal/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.Files) == 0 || p.Pkg == nil || len(p.Info.Defs) == 0 {
+			t.Errorf("%s: incomplete load (files=%d, defs=%d)", p.Path, len(p.Files), len(p.Info.Defs))
+		}
+		if p.Sizes.Sizeof(p.Pkg.Scope().Lookup(firstType(p)).Type()) <= 0 {
+			t.Errorf("%s: sizes not wired", p.Path)
+		}
+	}
+}
+
+func firstType(p *Package) string {
+	for _, name := range p.Pkg.Scope().Names() {
+		if _, ok := p.Pkg.Scope().Lookup(name).Type().Underlying().(interface{ NumFields() int }); ok {
+			return name
+		}
+	}
+	return p.Pkg.Scope().Names()[0]
+}
+
+const directiveSrc = `package d
+
+//ssync:ignore padcheck
+func unjustified() {}
+
+//ssync:ignore nosuch the analyzer does not exist
+func unknownAnalyzer() {}
+
+//ssync:frobnicate
+func unknownVerb() {}
+
+//ssync:ignore
+func nameless() {}
+
+// docBlessed has a function-scoped blessing.
+//
+//ssync:ignore padcheck the whole body is exempt because reasons
+func docBlessed() {
+	_ = 1
+	_ = 2
+}
+
+func lineBlessed() {
+	//ssync:ignore padcheck this one line is fine
+	_ = 3
+	_ = 4
+}
+`
+
+func parseDirectiveSrc(t *testing.T) (*token.FileSet, *ignoreSet, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	set := parseDirectives(fset, []*ast.File{f}, map[string]bool{"padcheck": true, "poolaudit": true},
+		func(d Diagnostic) { diags = append(diags, d) })
+	return fset, set, diags
+}
+
+// TestDirectiveValidation: malformed directives are findings — a
+// justification is required, names must resolve, verbs must exist.
+func TestDirectiveValidation(t *testing.T) {
+	_, _, diags := parseDirectiveSrc(t)
+	wants := []string{
+		"needs a justification",
+		`unknown analyzer "nosuch"`,
+		"unknown directive //ssync:frobnicate",
+		"needs an analyzer name",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d directive diagnostics, want %d: %v", len(diags), len(wants), diags)
+	}
+	for i, want := range wants {
+		if diags[i].Analyzer != "directive" || !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diag %d = %q, want it to mention %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+// TestDirectiveScopes: a doc-comment blessing covers the whole
+// function; a line blessing covers its own line and the next; neither
+// leaks to other analyzers.
+func TestDirectiveScopes(t *testing.T) {
+	fset, set, _ := parseDirectiveSrc(t)
+	at := func(line int) token.Pos {
+		return fset.File(token.Pos(1)).LineStart(line)
+	}
+	line := func(sub string) int {
+		for i, l := range strings.Split(directiveSrc, "\n") {
+			if strings.Contains(l, sub) {
+				return i + 1
+			}
+		}
+		t.Fatalf("marker %q not in source", sub)
+		return 0
+	}
+	cases := []struct {
+		name     string
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"doc scope start", "padcheck", line("func docBlessed"), true},
+		{"doc scope body", "padcheck", line("_ = 1"), true},
+		{"doc scope end", "padcheck", line("_ = 2"), true},
+		{"doc scope other analyzer", "poolaudit", line("_ = 1"), false},
+		{"line scope directive line", "padcheck", line("this one line is fine"), true},
+		{"line scope next line", "padcheck", line("_ = 3"), true},
+		{"line scope two below", "padcheck", line("_ = 4"), false},
+		{"unjustified grants nothing", "padcheck", line("func unjustified"), false},
+	}
+	for _, tc := range cases {
+		d := Diagnostic{Pos: at(tc.line), Analyzer: tc.analyzer, Message: "x"}
+		if got := set.suppressed(fset, d); got != tc.want {
+			t.Errorf("%s: suppressed=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its findings against // want annotations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract: a comment
+//
+//	// want "regexp" "another"
+//
+// on a line asserts that the analyzer reports exactly those findings
+// there. Lines without a want comment must produce no finding, and
+// every want must be matched — golden diagnostics in both directions.
+// The testdata package is type-checked against the enclosing module's
+// real dependencies, so fixtures exercise the actual ssync/internal/pad
+// and sync types the production code uses.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"ssync/internal/analysis"
+)
+
+// wantRE extracts the quoted or backquoted patterns of a want comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// commentRE recognizes a want comment at the end of a line comment.
+var commentRE = regexp.MustCompile(`//\s*want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)\s*$`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run analyzes the package in pkgdir (conventionally
+// testdata/src/<name>, relative to the analyzer's test) with a and
+// compares findings against the package's want annotations. The
+// framework's directive handling is live, so fixtures can also assert
+// that //ssync:ignore blessing and its justification requirement work.
+func Run(t *testing.T, a *analysis.Analyzer, pkgdir string) {
+	t.Helper()
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := analysis.LoadPackageDir(root, pkgdir)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", pkgdir, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	// Collect want annotations per file:line.
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := commentRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey(pos)
+				for _, q := range wantRE.FindAllStringSubmatch(m[1], -1) {
+					pat := q[2] // backquoted: literal
+					if q[2] == "" && q[1] != "" {
+						var err error
+						if pat, err = strconv.Unquote(`"` + q[1] + `"`); err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, q[1], err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := d.Position(pkg.Fset)
+		key := lineKey(pos)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no finding matched %q", key, w.raw)
+			}
+		}
+	}
+}
+
+func lineKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

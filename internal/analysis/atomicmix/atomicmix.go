@@ -1,0 +1,224 @@
+// Package atomicmix reports struct fields accessed both through
+// sync/atomic (or the pad wrappers' atomic methods) and by plain
+// load/store — the bug class the optimistic engine's seqlock dance is
+// one typo away from: a single plain write to a word concurrent readers
+// load atomically is a data race the race detector only catches if a
+// test happens to interleave it. Plain access to an atomically-shared
+// field is only sound inside an owning critical section, which the
+// analyzer cannot see — so every such access must be blessed where it
+// happens (//ssync:ignore atomicmix <why>) or at the field declaration,
+// turning "we promise this is locked" into text reviewers can audit.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ssync/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "fields accessed both atomically (sync/atomic, pad.* atomic methods) " +
+		"and by plain load/store: plain access outside the owning critical " +
+		"section is a data race; bless intentional exclusive-access escapes " +
+		"with //ssync:ignore atomicmix <why> at the access or field declaration",
+	Run: run,
+}
+
+const padPkg = "ssync/internal/pad"
+
+// padAtomic and padPlain classify the pad wrappers' method sets.
+var padAtomic = map[string]bool{
+	"Load": true, "Store": true, "Add": true,
+	"CompareAndSwap": true, "Swap": true,
+}
+var padPlain = map[string]bool{"Raw": true, "SetRaw": true}
+
+// access is one recorded field access.
+type access struct {
+	pos  ast.Node
+	desc string
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := map[*types.Var]bool{}
+	var plain []struct {
+		field *types.Var
+		acc   access
+	}
+	consumed := map[*ast.SelectorExpr]bool{}
+
+	// fieldOf resolves e to a struct-field object if it is a field
+	// selector.
+	fieldOf := func(e ast.Expr) (*types.Var, *ast.SelectorExpr) {
+		sel, ok := analysis.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil, nil
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return nil, nil
+		}
+		return v, sel
+	}
+
+	// Pass 1: find atomic access sites; mark their selectors consumed.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// sync/atomic package functions: atomic.XxxYyy(&x.f, ...).
+			if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Type().(*types.Signature).Recv() == nil {
+				for _, arg := range call.Args {
+					un, ok := analysis.Unparen(arg).(*ast.UnaryExpr)
+					if !ok {
+						continue
+					}
+					if v, sel := fieldOf(un.X); v != nil {
+						atomicFields[v] = true
+						consumed[sel] = true
+					}
+				}
+				return true
+			}
+			// pad wrapper methods on a field receiver: x.f.Load() etc.
+			if s, ok := pass.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
+				recv := s.Recv()
+				if p, ok := deref(recv).(*types.Named); ok && p.Obj().Pkg() != nil && p.Obj().Pkg().Path() == padPkg {
+					if v, sel := fieldOf(fun.X); v != nil {
+						name := fun.Sel.Name
+						switch {
+						case padAtomic[name]:
+							atomicFields[v] = true
+							consumed[sel] = true
+						case padPlain[name]:
+							consumed[sel] = true
+							plain = append(plain, struct {
+								field *types.Var
+								acc   access
+							}{v, access{pos: fun.Sel, desc: "non-atomic " + name + " call"}})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other selector touching an atomic field is a plain
+	// access. Skip receivers of pad atomic methods (consumed above).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok || !atomicFields[v] {
+				return true
+			}
+			plain = append(plain, struct {
+				field *types.Var
+				acc   access
+			}{v, access{pos: sel.Sel, desc: "plain access"}})
+			return true
+		})
+	}
+
+	// Field-declaration blessing: an //ssync:ignore atomicmix on the
+	// declaring field line exempts every access to that field.
+	blessed := fieldBlessings(pass)
+
+	for _, p := range plain {
+		if blessed[p.field] {
+			continue
+		}
+		pass.Reportf(p.acc.pos.Pos(),
+			"field %s is accessed atomically elsewhere but here by %s; move it inside the owning critical section or bless it with //ssync:ignore atomicmix <why>",
+			fieldPath(p.field), p.acc.desc)
+	}
+	return nil
+}
+
+// fieldBlessings maps struct fields declared in this package whose
+// declaration carries a well-formed ignore directive.
+func fieldBlessings(pass *analysis.Pass) map[*types.Var]bool {
+	blessed := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !analysis.HasIgnore(fld.Doc, "atomicmix") && !analysis.HasIgnore(fld.Comment, "atomicmix") {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						blessed[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return blessed
+}
+
+// fieldPath renders an owner-qualified field name when available.
+func fieldPath(v *types.Var) string {
+	name := v.Name()
+	if owner := ownerStruct(v); owner != "" {
+		return owner + "." + name
+	}
+	return name
+}
+
+// ownerStruct best-effort recovers the named struct a field belongs to.
+func ownerStruct(v *types.Var) string {
+	if v.Pkg() == nil {
+		return ""
+	}
+	scope := v.Pkg().Scope()
+	for _, n := range scope.Names() {
+		tn, ok := scope.Lookup(n).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// deref unwraps one pointer level.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

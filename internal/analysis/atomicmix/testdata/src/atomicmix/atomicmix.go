@@ -1,0 +1,76 @@
+// Package fixtures seeds atomicmix violations: fields shared through
+// sync/atomic or the pad wrappers, then touched plainly.
+package fixtures
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ssync/internal/pad"
+)
+
+// conn mixes an atomic flag with a plain store — the seeded bug.
+type conn struct {
+	flag    uint64
+	payload [56]byte
+}
+
+func (c *conn) trySend(b byte) bool {
+	if atomic.LoadUint64(&c.flag) != 0 {
+		return false
+	}
+	c.payload[0] = b
+	c.flag = 1 // want `field conn.flag is accessed atomically elsewhere but here by plain access`
+	return true
+}
+
+func (c *conn) recvLen() int {
+	n := int(c.flag) // want `field conn.flag is accessed atomically elsewhere but here by plain access`
+	return n
+}
+
+// seq mixes a pad.Uint64 seqlock word's atomic methods with its
+// exclusive-access escape hatch, unblessed.
+type seq struct {
+	version pad.Uint64
+	mu      sync.Mutex
+}
+
+func (s *seq) publish() {
+	s.version.Add(1)
+	s.version.Add(1)
+}
+
+func (s *seq) resetUnsafe() {
+	s.version.SetRaw(0) // want `field seq.version is accessed atomically elsewhere but here by non-atomic SetRaw call`
+}
+
+// blessedSeq documents the same escape at the access site.
+func (s *seq) resetOwned() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//ssync:ignore atomicmix mu is held: no concurrent publish can run
+	s.version.SetRaw(0)
+}
+
+// declBlessed blesses at the field declaration instead: every access is
+// exempt, and the justification lives with the field.
+type declBlessed struct {
+	//ssync:ignore atomicmix single-writer init phase only; readers start after construction
+	epoch uint64
+}
+
+func (d *declBlessed) bump() { atomic.AddUint64(&d.epoch, 1) }
+func (d *declBlessed) init() {
+	d.epoch = 0
+}
+
+// onlyPlain is never atomic: no finding.
+type onlyPlain struct{ n uint64 }
+
+func (o *onlyPlain) inc() { o.n++ }
+
+// onlyAtomic is never plain: no finding.
+type onlyAtomic struct{ n uint64 }
+
+func (o *onlyAtomic) inc() uint64 { return atomic.AddUint64(&o.n, 1) }

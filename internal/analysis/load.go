@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package of the module, ready for
+// analyzers.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// exportSet resolves import paths to compiled export data, the
+// dependency-free replacement for a package loader: `go list -export
+// -deps` compiles every dependency (standard library included) into the
+// build cache and tells us where each package's export file landed, and
+// the stock gc importer reads those files back. Source is only ever
+// parsed and type-checked for the packages under analysis.
+type exportSet struct {
+	exports map[string]string // import path → export file
+	imp     types.Importer
+	fset    *token.FileSet
+}
+
+// newExportSet runs `go list -export -deps -json patterns...` in dir and
+// wires the gc importer to the produced export files.
+func newExportSet(dir string, fset *token.FileSet, patterns ...string) (*exportSet, []listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list -export: %v\n%s", err, errb.String())
+	}
+	es := &exportSet{exports: map[string]string{}, fset: fset}
+	var listed []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list -export: decoding: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list -export: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			es.exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, p)
+	}
+	es.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := es.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return es, listed, nil
+}
+
+// check parses and type-checks one package from source files.
+func (es *exportSet) check(path string, files []string) (*Package, error) {
+	pkg := &Package{
+		Path:  path,
+		Fset:  es.fset,
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		},
+	}
+	for _, fname := range files {
+		f, err := parser.ParseFile(es.fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	conf := types.Config{
+		Importer: es.imp,
+		Sizes:    pkg.Sizes,
+	}
+	tpkg, err := conf.Check(path, es.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg.Pkg = tpkg
+	return pkg, nil
+}
+
+// Load type-checks the module packages matching the go-list patterns
+// (e.g. "./...") rooted at dir. Only non-test files of the module's own
+// packages are analyzed; dependencies are resolved from export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	es, listed, err := newExportSet(dir, fset, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.Standard || p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := es.check(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// moduleExport caches one exportSet per module root: analyzer tests all
+// load the same module's export data, and `go list -export -deps` per
+// call would dominate test time.
+var moduleExport sync.Map // dir → *moduleExportEntry
+
+type moduleExportEntry struct {
+	once sync.Once
+	es   *exportSet
+	err  error
+}
+
+// LoadPackageDir type-checks the .go files of one directory as a single
+// package against moduleRoot's dependency export data. It backs the
+// analysistest harness: testdata packages are not part of the module
+// build, but may import anything the module (or the standard library it
+// uses) provides.
+func LoadPackageDir(moduleRoot, pkgDir string) (*Package, error) {
+	entry, _ := moduleExport.LoadOrStore(moduleRoot, &moduleExportEntry{})
+	e := entry.(*moduleExportEntry)
+	e.once.Do(func() {
+		fset := token.NewFileSet()
+		es, _, err := newExportSet(moduleRoot, fset, "./...")
+		e.es, e.err = es, err
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	ents, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, ent := range ents {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+			files = append(files, filepath.Join(pkgDir, ent.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", pkgDir)
+	}
+	// The directory base names the package, so fixture diagnostics print
+	// short qualifiers ("padcheck.stripe", not a filesystem path).
+	return e.es.check(filepath.Base(pkgDir), files)
+}
+
+// ModuleRoot locates the enclosing module's root directory (the
+// directory holding go.mod), so tests can run the suite over the whole
+// tree regardless of which package directory `go test` started them in.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ssync/internal/analysis/analysistest"
+	"ssync/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/lockorder")
+}

@@ -1,0 +1,100 @@
+// Package fixtures seeds lockorder violations: shard locks held two at
+// a time, in engine-helper form and in raw locks.Lock form.
+package fixtures
+
+import (
+	"sync"
+
+	"ssync/internal/locks"
+)
+
+// engine mimics the store's locked engine surface.
+type engine struct {
+	guards []locks.Lock
+	tabs   []map[string][]byte
+	mu     sync.Mutex
+}
+
+func (e *engine) lock(i int)   { e.guards[i].Acquire(nil) }
+func (e *engine) unlock(i int) { e.guards[i].Release(nil) }
+
+// get is the blessed single-lock discipline: one shard, lock once.
+func (e *engine) get(shard int, key string) ([]byte, bool) {
+	e.lock(shard)
+	defer e.unlock(shard)
+	v, ok := e.tabs[shard][key]
+	return v, ok
+}
+
+// execGroups is the batch discipline: each group locks once,
+// sequentially — the held set is empty between iterations.
+func (e *engine) execGroups(order []int) {
+	for _, shard := range order {
+		e.lock(shard)
+		delete(e.tabs[shard], "x")
+		e.unlock(shard)
+	}
+}
+
+// copyRange holds a second shard lock while the first is still held
+// (deferred release pins it to function exit) — the seeded deadlock
+// shape.
+func (e *engine) copyRange(src, dst int) {
+	e.lock(src)
+	defer e.unlock(src)
+	e.lock(dst) // want `lock e\[dst\] acquired while still holding e\[src\]`
+	defer e.unlock(dst)
+	e.tabs[dst]["x"] = e.tabs[src]["x"]
+}
+
+// hierAcquire is the raw-interface form of the same bug: a second
+// Acquire with the first lock still held.
+func (e *engine) hierAcquire(local, global locks.Lock, tok *locks.Token) {
+	local.Acquire(tok)
+	global.Acquire(nil) // want `lock global acquired while still holding local`
+	global.Release(nil)
+	local.Release(tok)
+}
+
+// handAcquire releases before re-acquiring: hand-over-hand is fine as
+// long as only one lock is ever held.
+func (e *engine) handAcquire(a, b locks.Lock) {
+	a.Acquire(nil)
+	a.Release(nil)
+	b.Acquire(nil)
+	b.Release(nil)
+}
+
+// cohort is a blessed fixed-order multi-hold, the hierarchical-lock
+// idiom: the justification names the total order that keeps it
+// deadlock-free.
+func (e *engine) cohort(local, global locks.Lock) {
+	local.Acquire(nil)
+	//ssync:ignore lockorder fixed two-level order: node-local before global, everywhere
+	global.Acquire(nil)
+	global.Release(nil)
+	local.Release(nil)
+}
+
+// mutexNest nests plain mutexes — outside the shard-lock discipline,
+// not this analyzer's business.
+func (e *engine) mutexNest(other *engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+}
+
+// spawned function literals are separate scopes: the goroutine's
+// acquire does not nest under the parent's.
+func (e *engine) parallel(shards []int) {
+	e.lock(0)
+	defer e.unlock(0)
+	done := make(chan struct{})
+	go func() {
+		e.lock(1)
+		e.unlock(1)
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,137 @@
+// Package padcheck verifies cache-line layout invariants: the repo's
+// padded hot structs (internal/store's shards, internal/pad wrappers)
+// promise that certain words own their 64-byte line outright, and the
+// promise is pure arithmetic over field offsets — exactly what a
+// compiler-sized layout pass can check for every current and future
+// struct, where align_test.go could only assert the offsets of the
+// structs someone remembered to list.
+package padcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ssync/internal/analysis"
+	"ssync/internal/pad"
+)
+
+// padPkg is the package whose named struct types are line-owners by
+// construction.
+const padPkg = "ssync/internal/pad"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "padcheck",
+	Doc: "padded structs keep their hot words on private cache lines: " +
+		"any struct carrying a pad.* field or a //ssync:cacheline marker must " +
+		"be a multiple of 64 bytes, and every line-owning field (pad.*, marked " +
+		"struct, array of either) must start 64-byte aligned",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// First pass: which named structs of this package are marked
+	// //ssync:cacheline? Marked-ness extends line-ownership to structs
+	// like optCounters that pad with raw byte arrays instead of pad.*
+	// fields.
+	marked := map[types.Object]bool{}
+	eachStructSpec(pass, func(gd *ast.GenDecl, ts *ast.TypeSpec, st *ast.StructType) {
+		if analysis.HasMarker(gd.Doc, "cacheline") ||
+			analysis.HasMarker(ts.Doc, "cacheline") ||
+			analysis.HasMarker(ts.Comment, "cacheline") {
+			marked[pass.Info.Defs[ts.Name]] = true
+		}
+	})
+
+	lineOwner := func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		if _, isStruct := n.Underlying().(*types.Struct); !isStruct {
+			// pad.Line is a sizing unit ([64]byte, align 1), not a
+			// line-owner; only the padded struct wrappers qualify.
+			return false
+		}
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == padPkg {
+			return true
+		}
+		return marked[obj]
+	}
+
+	// Second pass: verify the layout of every struct in scope.
+	eachStructSpec(pass, func(gd *ast.GenDecl, ts *ast.TypeSpec, st *ast.StructType) {
+		obj := pass.Info.Defs[ts.Name]
+		if obj == nil {
+			return
+		}
+		structT, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok || structT.NumFields() == 0 {
+			return
+		}
+		inScope := marked[obj]
+		for i := 0; !inScope && i < structT.NumFields(); i++ {
+			t := structT.Field(i).Type()
+			if lineOwner(t) {
+				inScope = true
+			}
+			if at, ok := t.(*types.Array); ok && lineOwner(at.Elem()) {
+				inScope = true
+			}
+		}
+		if !inScope {
+			return
+		}
+
+		size := pass.Sizes.Sizeof(structT)
+		if size%pad.CacheLineSize != 0 {
+			pass.Reportf(ts.Name.Pos(),
+				"struct %s is %d bytes, not a multiple of the %d-byte cache line; adjacent elements in a slice or array share lines",
+				ts.Name.Name, size, pad.CacheLineSize)
+		}
+		fields := make([]*types.Var, structT.NumFields())
+		for i := range fields {
+			fields[i] = structT.Field(i)
+		}
+		offsets := pass.Sizes.Offsetsof(fields)
+		for i, f := range fields {
+			t := f.Type()
+			owner := lineOwner(t)
+			if at, ok := t.(*types.Array); ok && lineOwner(at.Elem()) {
+				owner = true
+				if es := pass.Sizes.Sizeof(at.Elem()); es%pad.CacheLineSize != 0 {
+					pass.Reportf(f.Pos(),
+						"field %s: array element %s is %d bytes, not a line multiple; elements straddle cache lines",
+						f.Name(), at.Elem(), es)
+				}
+			}
+			if owner && offsets[i]%pad.CacheLineSize != 0 {
+				pass.Reportf(f.Pos(),
+					"field %s (%s) at offset %d is not %d-byte aligned; it does not own its cache line",
+					f.Name(), t, offsets[i], pad.CacheLineSize)
+			}
+		}
+	})
+	return nil
+}
+
+// eachStructSpec visits every struct type declaration in the package.
+func eachStructSpec(pass *analysis.Pass, fn func(*ast.GenDecl, *ast.TypeSpec, *ast.StructType)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					fn(gd, ts, st)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"ssync/internal/analysis/analysistest"
+	"ssync/internal/analysis/padcheck"
+)
+
+func TestPadcheck(t *testing.T) {
+	analysistest.Run(t, padcheck.Analyzer, "testdata/src/padcheck")
+}

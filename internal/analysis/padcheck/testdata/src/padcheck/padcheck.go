@@ -1,0 +1,95 @@
+// Package fixtures seeds padcheck violations. The bad cases replay the
+// PR 9 bug class: counter stripes that start off a line boundary and
+// stripe elements that straddle lines.
+package fixtures
+
+import (
+	"sync/atomic"
+
+	"ssync/internal/pad"
+)
+
+// stripe is one padded counter stripe, exactly one line.
+//
+//ssync:cacheline
+type stripe struct {
+	gets atomic.Uint64
+	puts atomic.Uint64
+	_    [48]byte
+}
+
+// goodShard mirrors the fixed optShard layout: hot words own lines,
+// the bucket header is padded out, stripes start line-aligned.
+type goodShard struct {
+	version pad.Uint64
+	live    pad.Int64
+	buckets []int
+	_       [40]byte
+	stripes [8]stripe
+}
+
+var _ goodShard
+
+// badShard replays the stripe-offset bug: the slice header after live
+// is not padded out, so stripes begins mid-line — stripe 0 shares a
+// line with buckets and every element is shifted.
+type badShard struct { // want `struct badShard is 664 bytes, not a multiple of the 64-byte cache line`
+	version pad.Uint64
+	live    pad.Int64
+	buckets []int
+	stripes [8]stripe // want `field stripes \(\[8\]padcheck.stripe\) at offset 152 is not 64-byte aligned`
+}
+
+var _ badShard
+
+// skinny is marked line-critical but is nowhere near a line.
+//
+//ssync:cacheline
+type skinny struct { // want `struct skinny is 8 bytes, not a multiple of the 64-byte cache line`
+	n atomic.Uint64
+}
+
+// straddler holds an array of sub-line marked elements: even with an
+// aligned start, elements after the first straddle lines.
+type straddler struct {
+	v     pad.Uint64
+	elems [4]skinny // want `field elems: array element padcheck.skinny is 8 bytes, not a line multiple`
+	_     [32]byte
+}
+
+var _ straddler
+
+// tail has a line-owning pad word pushed off alignment by a preceding
+// header word.
+type tail struct { // want `struct tail is 72 bytes, not a multiple of the 64-byte cache line`
+	n uint64
+	v pad.Uint64 // want `field v \(ssync/internal/pad.Uint64\) at offset 8 is not 64-byte aligned`
+}
+
+var _ tail
+
+// blessed is the same layout as tail, intentionally exempted: the
+// justification requirement keeps the exception documented.
+//
+//ssync:ignore padcheck cold diagnostic struct, never on a hot path
+type blessed struct {
+	n uint64
+	//ssync:ignore padcheck cold diagnostic struct, never on a hot path
+	v pad.Uint64
+}
+
+var _ blessed
+
+// oneLine is a marked single-line header, the shardTable shape.
+//
+//ssync:cacheline
+type oneLine struct {
+	buckets []int
+	gets    uint64
+	puts    uint64
+	dels    uint64
+	scans   uint64
+	entries uint64
+}
+
+var _ oneLine

@@ -1,0 +1,12 @@
+package poolaudit_test
+
+import (
+	"testing"
+
+	"ssync/internal/analysis/analysistest"
+	"ssync/internal/analysis/poolaudit"
+)
+
+func TestPoolaudit(t *testing.T) {
+	analysistest.Run(t, poolaudit.Analyzer, "testdata/src/poolaudit")
+}

@@ -1,0 +1,34 @@
+package suite_test
+
+import (
+	"testing"
+
+	"ssync/internal/analysis"
+	"ssync/internal/analysis/suite"
+)
+
+// TestLintClean runs the whole analyzer suite over the module, the same
+// gate CI's lint leg applies: the tree must carry zero unblessed
+// findings. A failure here means either a real invariant violation or
+// an exception that needs an //ssync:ignore with its justification.
+func TestLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, suite.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		p := d.Position(pkgs[0].Fset)
+		t.Errorf("%s:%d:%d: %s: %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+	}
+}

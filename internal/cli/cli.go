@@ -39,6 +39,7 @@ var tools = []tool{
 	{"tmbench", "software transactional memory: the §8 experiment", TmbenchMain},
 	{"kvbench", "memcached-style key-value store: Figure 12", KvbenchMain},
 	{"topology", "print the simulated platform models", TopologyMain},
+	{"lint", "static analysis: check the repo's concurrency and allocation invariants", LintMain},
 }
 
 // Main is the ssync entry point.

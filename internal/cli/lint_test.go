@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLintList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := LintMain([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("lint -list = %d, stderr %q", code, errb.String())
+	}
+	for _, name := range []string{"atomicmix", "lockorder", "padcheck", "poolaudit"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("lint -list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestLintCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := LintMain([]string{"-dir", "../..", "./internal/pad", "./internal/locks"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("lint = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}

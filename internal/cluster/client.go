@@ -159,6 +159,8 @@ type routeScratch struct{ groups [][]int }
 var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
 
 // getGroups returns a cleared owner-bucketing table with n node slots.
+//
+//ssync:pooled
 func getGroups(n int) *routeScratch {
 	s := routePool.Get().(*routeScratch)
 	if cap(s.groups) < n {

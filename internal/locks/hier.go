@@ -131,6 +131,7 @@ func (l *hticketLock) Acquire(tok *Token) {
 		return
 	}
 	gtok := Token{}
+	//ssync:ignore lockorder fixed two-level order — node-local ticket always before global — keeps the multi-hold deadlock-free
 	l.global.Acquire(&gtok)
 	st.gTicket = gtok.ticket
 	st.hasGlobal = true

@@ -27,6 +27,8 @@ func (l *tasLock) Release(*Token) { l.word.Store(0) }
 
 // ttasLock: spin reading until free, then attempt the swap; exponential
 // back-off after a failed attempt [4, 20].
+//
+//ssync:ignore padcheck one heap allocation per lock, never an array element; the read-only unit trails the padded word
 type ttasLock struct {
 	word pad.Uint32
 	unit int
@@ -59,6 +61,8 @@ func (l *ttasLock) Release(*Token) { l.word.Store(0) }
 // ticketLock: FAI on next, spin on current with back-off proportional to
 // the queue position [29]. next and current live on separate cache lines
 // so ticket draws do not disturb the spinners.
+//
+//ssync:ignore padcheck one heap allocation per lock, never an array element; the read-only unit trails the padded words
 type ticketLock struct {
 	next    pad.Uint64
 	current pad.Uint64
@@ -92,6 +96,8 @@ func (l *ticketLock) Release(*Token) {
 
 // arrayLock: Anderson's array lock [20] — a padded flag slot per waiter,
 // each spinning on its own line.
+//
+//ssync:ignore padcheck one heap allocation per lock, never an array element; slots is the padded-per-waiter array
 type arrayLock struct {
 	tail  pad.Uint64
 	slots []pad.Uint32

@@ -20,7 +20,10 @@ const CacheLineSize = 64
 // pointer to a 64-byte-aligned-enough region in practice (Go allocates
 // objects of this size with 64-byte size class), and padded so adjacent
 // array elements never share a line.
+//
+//ssync:cacheline
 type Uint64 struct {
+	//ssync:ignore atomicmix Raw and SetRaw are the documented escape hatch; their callers hold exclusive access
 	v uint64
 	_ [CacheLineSize - 8]byte
 }
@@ -51,6 +54,8 @@ func (p *Uint64) Raw() uint64 { return p.v }
 func (p *Uint64) SetRaw(v uint64) { p.v = v }
 
 // Int64 is an int64 alone on its own cache line.
+//
+//ssync:cacheline
 type Int64 struct {
 	v int64
 	_ [CacheLineSize - 8]byte
@@ -66,6 +71,8 @@ func (p *Int64) Store(v int64) { atomic.StoreInt64(&p.v, v) }
 func (p *Int64) Add(delta int64) int64 { return atomic.AddInt64(&p.v, delta) }
 
 // Uint32 is a uint32 alone on its own cache line.
+//
+//ssync:cacheline
 type Uint32 struct {
 	v uint32
 	_ [CacheLineSize - 4]byte
@@ -89,6 +96,8 @@ func (p *Uint32) CompareAndSwap(old, new uint32) bool {
 func (p *Uint32) Swap(v uint32) uint32 { return atomic.SwapUint32(&p.v, v) }
 
 // Bool is a boolean flag alone on its own cache line, stored as a uint32.
+//
+//ssync:cacheline
 type Bool struct {
 	v uint32
 	_ [CacheLineSize - 4]byte

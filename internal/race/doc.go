@@ -1,0 +1,6 @@
+// Package race reports whether the current build is instrumented by the
+// race detector, mirroring the runtime's internal race package. Tests
+// whose assertions the instrumentation perturbs — allocation counts,
+// timing envelopes — gate on Enabled instead of redeclaring per-package
+// build-tagged constants.
+package race

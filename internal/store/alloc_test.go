@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ssync/internal/race"
 	"ssync/internal/workload"
 )
 
@@ -41,7 +42,7 @@ func allocKeys(h *Handle, n, valLen int) []string {
 const optPutAllocBound = 8
 
 func TestPointOpAllocs(t *testing.T) {
-	if raceEnabled {
+	if race.Enabled {
 		t.Skip("race instrumentation perturbs allocation counts")
 	}
 	const runs = 200
@@ -105,7 +106,7 @@ func TestPointOpAllocs(t *testing.T) {
 // lock-step client) to a small constant per op: the decoded value copy
 // on a get, and nothing but transport noise on a put.
 func TestWireAllocs(t *testing.T) {
-	if raceEnabled {
+	if race.Enabled {
 		t.Skip("race instrumentation perturbs allocation counts")
 	}
 	const runs = 200
@@ -157,7 +158,7 @@ func TestWireAllocs(t *testing.T) {
 // per-key constant, not zero — the gate is against accidental
 // per-key regressions (an extra copy, a dropped scratch reuse).
 func TestBatchAllocs(t *testing.T) {
-	if raceEnabled {
+	if race.Enabled {
 		t.Skip("race instrumentation perturbs allocation counts")
 	}
 	const runs, batch = 50, 64

@@ -204,6 +204,7 @@ func (c *AsyncClient) submit(op byte, subs []byte, enc func(dst []byte) ([]byte,
 	f.tag = c.tags.Add(1)
 	bufp := framePool.Get().(*[]byte)
 	body, err := enc(AppendTaggedRequest((*bufp)[:0], f.tag))
+	//ssync:ignore poolaudit the Future owns the frame; releaseBody is the single release point on every path
 	f.body, f.bufp = body, bufp
 	if err != nil {
 		f.releaseBody()

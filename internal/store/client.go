@@ -40,6 +40,8 @@ type Client struct {
 var clientScratch = sync.Pool{New: func() any { return new([]byte) }}
 
 // NewClient wraps an established connection.
+//
+//ssync:ignore poolaudit the Client owns ebuf/rbuf until Close, the single release point; every decode copies out first
 func NewClient(conn io.ReadWriteCloser) *Client {
 	ep := clientScratch.Get().(*[]byte)
 	rp := clientScratch.Get().(*[]byte)

@@ -55,6 +55,8 @@ type oBucket struct {
 const optStripes = 8
 
 // optCounters is one counter stripe, alone on its cache line.
+//
+//ssync:cacheline
 type optCounters struct {
 	gets    atomic.Uint64
 	puts    atomic.Uint64
@@ -73,6 +75,8 @@ type optCounters struct {
 // stripe 0 shares one with the live counter, which is exactly the
 // false sharing the stripes exist to avoid. align_test.go pins these
 // offsets.
+//
+//ssync:cacheline
 type optShard struct {
 	version pad.Uint64
 	live    pad.Int64

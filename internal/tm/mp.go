@@ -16,14 +16,19 @@ import (
 // involved server. A server that cannot grant access replies CONFLICT and
 // the client aborts the whole transaction — TM2C's immediate-abort
 // contention management.
+//
+// The cross-client commit/abort counters lead the struct so each owns
+// its cache line, clear of the read-only topology fields.
+//
+//ssync:ignore padcheck one TM instance per run, never an array element; total size need not round to a line
 type mpTM struct {
+	commits  pad.Uint64
+	aborts   pad.Uint64
 	n        int
 	nServers int
 	nClients int
 	net      *mp.Network
 	stopped  []chan struct{}
-	commits  pad.Uint64
-	aborts   pad.Uint64
 }
 
 // TM2C wire protocol opcodes.

@@ -51,14 +51,18 @@ var errConflict = errors.New("tm: conflict")
 // conflictSignal unwinds the user function on a mid-transaction conflict.
 type conflictSignal struct{}
 
-// lockTM is the TL2-style shared-memory flavour.
+// lockTM is the TL2-style shared-memory flavour. The global version
+// clock and the commit/abort counters — each bumped from every thread —
+// lead the struct so each owns its cache line.
+//
+//ssync:ignore padcheck one TM instance per run, never an array element; total size need not round to a line
 type lockTM struct {
-	n       int
-	vlocks  []pad.Uint64 // version<<1 | locked
-	data    []pad.Uint64
 	clock   pad.Uint64
 	commits pad.Uint64
 	aborts  pad.Uint64
+	n       int
+	vlocks  []pad.Uint64 // version<<1 | locked
+	data    []pad.Uint64
 }
 
 // NewLockBased creates a shared-memory TM over n stripes.
